@@ -1,0 +1,27 @@
+"""Benchmark fixtures: a pre-warmed runner so pytest-benchmark measures
+the simulation + rendering work, not the one-off functional searches."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.runner import BenchmarkRunner
+from repro.msa.engine import MsaEngine, MsaEngineConfig
+from repro.sequences.builtin import builtin_samples
+
+BENCH_MSA_CONFIG = MsaEngineConfig(
+    num_background=24, homologs_per_query=4, seed=7
+)
+
+
+@pytest.fixture(scope="session")
+def warm_runner() -> BenchmarkRunner:
+    runner = BenchmarkRunner(msa_config=BENCH_MSA_CONFIG)
+    for sample in builtin_samples().values():
+        runner.msa_engine.run(sample)  # warm the functional cache
+    return runner
+
+
+@pytest.fixture(scope="session")
+def msa_engine(warm_runner) -> MsaEngine:
+    return warm_runner.msa_engine

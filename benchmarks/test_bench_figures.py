@@ -1,0 +1,52 @@
+"""One benchmark per paper figure: regenerating each artifact."""
+
+from repro.experiments import (
+    fig2_rna_memory,
+    fig3_total_time,
+    fig4_msa_threads,
+    fig5_6qnr_scaling,
+    fig6_inference_threads,
+    fig7_phase_ratio,
+    fig8_gpu_breakdown,
+    fig9_layer_breakdown,
+)
+
+
+def test_fig2_rna_memory(benchmark, warm_runner):
+    out = benchmark(fig2_rna_memory.render, warm_runner)
+    assert "CXL" in out
+
+
+def test_fig3_total_time(benchmark, warm_runner):
+    out = benchmark(fig3_total_time.render, warm_runner)
+    assert "msa" in out
+
+
+def test_fig4_msa_threads(benchmark, warm_runner):
+    out = benchmark(fig4_msa_threads.render, warm_runner)
+    assert "2PV7/Server" in out
+
+
+def test_fig5_6qnr_scaling(benchmark, warm_runner):
+    out = benchmark(fig5_6qnr_scaling.render, warm_runner)
+    assert "speedup" in out
+
+
+def test_fig6_inference_threads(benchmark, warm_runner):
+    out = benchmark(fig6_inference_threads.render, warm_runner)
+    assert "Inference" in out
+
+
+def test_fig7_phase_ratio(benchmark, warm_runner):
+    out = benchmark(fig7_phase_ratio.render, warm_runner)
+    assert "msa%" in out
+
+
+def test_fig8_gpu_breakdown(benchmark, warm_runner):
+    out = benchmark(fig8_gpu_breakdown.render, warm_runner)
+    assert "xla_compile" in out
+
+
+def test_fig9_layer_breakdown(benchmark, warm_runner):
+    out = benchmark(fig9_layer_breakdown.render, warm_runner)
+    assert "global_attention" in out

@@ -1,0 +1,40 @@
+"""One benchmark per paper table: regenerating each artifact."""
+
+from repro.experiments import (
+    table1_platforms,
+    table2_samples,
+    table3_cpu_metrics,
+    table4_function_profile,
+    table5_inference_bottlenecks,
+    table6_layer_times,
+)
+
+
+def test_table1_platforms(benchmark, warm_runner):
+    out = benchmark(table1_platforms.render, warm_runner)
+    assert "Xeon" in out
+
+
+def test_table2_samples(benchmark, warm_runner):
+    out = benchmark(table2_samples.render, warm_runner)
+    assert "6QNR" in out
+
+
+def test_table3_cpu_metrics(benchmark, warm_runner):
+    out = benchmark(table3_cpu_metrics.render, warm_runner)
+    assert "dTLB" in out
+
+
+def test_table4_function_profile(benchmark, warm_runner):
+    out = benchmark(table4_function_profile.render, warm_runner)
+    assert "calc_band_9" in out
+
+
+def test_table5_inference_bottlenecks(benchmark, warm_runner):
+    out = benchmark(table5_inference_bottlenecks.render, warm_runner)
+    assert "_M_fill_insert" in out
+
+
+def test_table6_layer_times(benchmark, warm_runner):
+    out = benchmark(table6_layer_times.render, warm_runner)
+    assert "triangle attention" in out

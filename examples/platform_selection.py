@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Platform selection study (paper Observation 1).
+
+"Do I need the HPC server, or does a desktop do the job?"  Runs the
+five benchmark inputs on both simulated platforms at their best thread
+settings and prints a recommendation per workload class — reproducing
+the paper's conclusion that consumer hardware handles moderate inputs
+cost-effectively while the largest assemblies still want server-class
+memory.
+"""
+
+from repro import (
+    BenchmarkRunner,
+    DESKTOP,
+    MsaEngineConfig,
+    OutOfMemoryError,
+    SERVER,
+)
+from repro.core.report import render_table
+
+
+def main() -> None:
+    runner = BenchmarkRunner(
+        platforms=[SERVER, DESKTOP],
+        msa_config=MsaEngineConfig(num_background=40, homologs_per_query=6),
+    )
+    results = runner.run_sweep(thread_counts=[1, 2, 4, 6, 8])
+
+    rows = []
+    for sample in results.samples():
+        server_best = results.best_threads(sample, "Server")
+        desktop_best = results.best_threads(sample, "Desktop")
+        server = results.one(sample, "Server", server_best)
+        desktop = results.one(sample, "Desktop", desktop_best)
+        if desktop.oom:
+            verdict = "needs server memory"
+            speedup = "-"
+        else:
+            ratio = server.total_seconds / desktop.total_seconds
+            speedup = f"{ratio:.2f}x"
+            if desktop.peak_memory_gib > 64:
+                verdict = "desktop OK (128 GiB upgrade)"
+            elif ratio > 1.0:
+                verdict = "desktop wins"
+            else:
+                verdict = "server wins"
+        rows.append(
+            (
+                sample,
+                f"{server.total_seconds:,.0f}s ({server_best}T)",
+                f"{desktop.total_seconds:,.0f}s ({desktop_best}T)",
+                speedup,
+                verdict,
+            )
+        )
+
+    print(render_table(
+        ["Sample", "Server best", "Desktop best", "Desktop speedup",
+         "Recommendation"],
+        rows,
+        title="Platform selection at optimal thread counts",
+    ))
+
+    wins = sum(1 for r in rows if r[4].startswith("desktop"))
+    print(
+        f"\nKey paper findings reproduced:"
+        f"\n  * The Desktop is competitive or faster on {wins}/{len(rows)}"
+        f"\n    inputs — higher clocks win the CPU-bound MSA phase, so a"
+        f"\n    strong CPU matters more than a top-tier GPU."
+        f"\n  * 6QNR's long-RNA MSA exceeds 64 GiB: the stock Desktop"
+        f"\n    OOMs and needs the 128 GiB upgrade the paper describes."
+    )
+
+    # Show the OOM explicitly with the stock configuration.
+    pipeline = runner.pipeline_for(DESKTOP)
+    try:
+        pipeline.run(runner.samples["6QNR"], threads=8)
+    except OutOfMemoryError as exc:
+        print(f"\nStock Desktop, 6QNR: {exc}")
+
+
+if __name__ == "__main__":
+    main()

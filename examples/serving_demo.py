@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Persistent AF3 serving (the paper's Section VI deployment proposal).
+
+AF3's Docker workflow pays GPU initialisation and XLA compilation on
+every request; the paper suggests keeping persistent model state.  This
+example serves a realistic request mix through the warm
+InferenceServer on both platforms and prints the per-request latency
+timeline and the throughput gain over per-request deployment —
+including the XLA shape-bucket recompilations a real JAX server incurs
+whenever a new padded input size arrives.
+"""
+
+from repro import DESKTOP, SERVER, builtin_samples
+from repro.core.report import render_table
+from repro.core.server import InferenceServer
+
+
+REQUEST_STREAM = ["2PV7", "7RCE", "2PV7", "promo", "1YY9", "2PV7",
+                  "promo", "7RCE"]
+
+
+def main() -> None:
+    samples = builtin_samples()
+    for platform in (SERVER, DESKTOP):
+        server = InferenceServer(platform)
+        rows = []
+        for i, name in enumerate(REQUEST_STREAM, start=1):
+            r = server.submit(samples[name])
+            cold_parts = []
+            if r.init_seconds:
+                cold_parts.append(f"init {r.init_seconds:.0f}s")
+            if r.compile_seconds:
+                cold_parts.append(f"XLA {r.compile_seconds:.0f}s "
+                                  f"(bucket {r.bucket})")
+            rows.append(
+                (i, name, r.bucket, f"{r.latency_seconds:,.0f}s",
+                 ", ".join(cold_parts) or "warm")
+            )
+        print(render_table(
+            ["#", "Sample", "Bucket", "Latency", "Cold costs paid"],
+            rows,
+            title=f"-- {platform.name}: {len(REQUEST_STREAM)}-request "
+                  f"stream --",
+        ))
+        print(f"  warm buckets: {server.warm_buckets}")
+        print(f"  total {server.total_seconds():,.0f}s vs per-request "
+              f"Docker {server.cold_equivalent_seconds():,.0f}s -> "
+              f"{server.speedup_over_cold():.2f}x\n")
+    print(
+        "The Server (overhead-dominated, paper Fig 8) gains the most;\n"
+        "the Desktop's compute-bound requests see bucket-padding waste\n"
+        "offset part of the savings — deployment advice depends on the\n"
+        "platform balance, exactly the paper's architecture-aware theme."
+    )
+
+
+if __name__ == "__main__":
+    main()

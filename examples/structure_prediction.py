@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Run the functional mini-AF3 network end-to-end on a real assembly.
+
+Everything here actually executes: the profile-HMM search builds a
+genuine MSA over a synthetic database, the features feed the numpy
+Pairformer + Diffusion network, and the outputs (3-D coordinates,
+pLDDT, PAE, distogram) come from real forward passes.  Weights are
+random — the structure is not biologically meaningful — but the full
+computational pipeline of AF3 runs, with per-layer op accounting that
+shows exactly where the FLOPs go.
+"""
+
+import numpy as np
+
+from repro import AlphaFold3Model, ModelConfig, MoleculeType, MsaEngine
+from repro.msa.engine import MsaEngineConfig
+from repro.msa.features import encode_residue
+from repro.sequences import Assembly, Chain, InputSample
+from repro.sequences.generator import random_sequence
+from repro.sequences.sample import classify_complexity
+
+
+def main() -> None:
+    # A small heterodimer so the tiny-config network runs in seconds.
+    assembly = Assembly("mini_complex", [
+        Chain("A", MoleculeType.PROTEIN, random_sequence(24, seed=5)),
+        Chain("B", MoleculeType.PROTEIN, random_sequence(16, seed=6)),
+    ])
+    sample = InputSample(
+        name=assembly.name,
+        assembly=assembly,
+        complexity=classify_complexity(
+            assembly.total_residues, assembly.chain_count, mixed=False
+        ),
+        target_characteristic="functional end-to-end demo",
+    )
+    print(f"Predicting {assembly.name}: {assembly.describe()}, "
+          f"{assembly.num_tokens} tokens\n")
+
+    # 1) MSA phase: real homology search over a synthetic database.
+    engine = MsaEngine(MsaEngineConfig(num_background=30, homologs_per_query=6))
+    msa_result = engine.run(sample)
+    for chain_id, msa in msa_result.chain_msas.items():
+        print(f"  chain {chain_id}: MSA depth {msa.depth}, "
+              f"mean coverage {msa.coverage().mean():.2f}")
+
+    # 2) Build the model inputs from the assembly features.
+    feats = msa_result.features
+    token_classes = feats.token_classes
+    deepest = max(feats.chain_features.values(), key=lambda f: f.depth)
+    # Broadcast the deepest chain's MSA across assembly columns by
+    # padding with gap rows (block-diagonal pairing, as AF3 does).
+    depth = deepest.depth
+    width = feats.num_tokens
+    msa_onehot = np.zeros((depth, width, 23), dtype=np.float32)
+    msa_onehot[:, :, encode_residue("-")] = 1.0
+    cursor = 0
+    for chain in assembly:
+        cf = feats.chain_features[chain.chain_id]
+        for _ in range(chain.copies):
+            rows = min(depth, cf.depth)
+            span = slice(cursor, cursor + cf.width)
+            msa_onehot[:rows, span, :] = cf.msa_onehot[:rows]
+            cursor += cf.width
+
+    # 3) Inference: the numpy AF3 network (tiny config).
+    model = AlphaFold3Model(ModelConfig.tiny(), seed=11)
+    prediction = model.predict(
+        token_classes, msa_onehot=msa_onehot, num_diffusion_steps=4
+    )
+
+    coords = prediction.coords
+    conf = prediction.confidence
+    print(f"\nPredicted {coords.shape[0]} atom coordinates "
+          f"(radius of gyration {np.linalg.norm(coords - coords.mean(0), axis=1).mean():.2f})")
+    print(f"Mean pLDDT: {conf.plddt.mean():.1f}   pTM: {conf.ptm:.3f}")
+    print(f"Mean PAE:   {conf.pae.mean():.1f} A")
+
+    # 4) Where did the compute go?  (The Fig 9 view of our own run.)
+    costs = prediction.counter.costs
+    total = sum(c.flops for c in costs.values())
+    print("\nPer-layer FLOP shares of this run:")
+    ranked = sorted(costs.items(), key=lambda kv: -kv[1].flops)[:6]
+    for scope, cost in ranked:
+        print(f"  {scope:45s} {100 * cost.flops / total:5.1f} %")
+    print(f"\nTotal: {total / 1e9:.2f} GFLOPs across "
+          f"{len(costs)} traced layer scopes")
+
+    # 5) Export real artifacts: the chain-A MSA as A3M and the
+    # predicted structure as PDB (pLDDT in the B-factor column).
+    from repro.model.pdb import write_pdb
+    from repro.msa.formats import write_a3m
+
+    a3m = write_a3m(msa_result.chain_msas["A"])
+    pdb = write_pdb(prediction, assembly, model.config)
+    with open("mini_complex_A.a3m", "w", encoding="utf-8") as fh:
+        fh.write(a3m)
+    with open("mini_complex.pdb", "w", encoding="utf-8") as fh:
+        fh.write(pdb)
+    print(f"\nWrote mini_complex_A.a3m ({len(a3m.splitlines())} lines) "
+          f"and mini_complex.pdb ({pdb.count('ATOM ')} atoms)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Adaptive thread allocation (paper Observation 3 / Section IV-C1).
+
+AF3 defaults to 8 MSA threads.  The paper shows this is frequently
+counterproductive: small inputs degrade past 4 threads and even 6QNR
+peaks around 6.  This example sweeps thread counts per sample and
+platform, prints the scaling curves, and quantifies what the paper's
+recommended adaptive policy saves over the static default.
+"""
+
+from repro import (
+    AF3_DEFAULT_THREADS,
+    BenchmarkRunner,
+    DESKTOP,
+    MsaEngineConfig,
+    SERVER,
+)
+from repro.core.report import render_series, render_table
+
+
+def main() -> None:
+    runner = BenchmarkRunner(
+        platforms=[SERVER, DESKTOP],
+        msa_config=MsaEngineConfig(num_background=40, homologs_per_query=6),
+    )
+    results = runner.run_sweep(thread_counts=[1, 2, 4, 6, 8])
+
+    # Scaling curves (Fig 4 / Fig 5 style).
+    series = {}
+    for sample in ("2PV7", "6QNR"):
+        for platform in ("Server", "Desktop"):
+            curve = results.speedup_curve(sample, platform)
+            series[f"{sample}/{platform}"] = {
+                t: round(s, 2) for t, s in curve.items()
+            }
+    print(render_series(series, title="MSA speedup vs 1 thread", unit="x"))
+
+    # Adaptive-policy savings.
+    rows = []
+    for sample in results.samples():
+        for platform in ("Server", "Desktop"):
+            best = results.best_threads(sample, platform)
+            static = results.one(sample, platform, AF3_DEFAULT_THREADS)
+            adaptive = results.one(sample, platform, best)
+            saving = 1.0 - adaptive.total_seconds / static.total_seconds
+            rows.append(
+                (
+                    sample, platform, best,
+                    f"{static.total_seconds:,.0f}s",
+                    f"{adaptive.total_seconds:,.0f}s",
+                    f"{100 * saving:.1f}%",
+                )
+            )
+    print()
+    print(render_table(
+        ["Sample", "Platform", "Best T", "Static 8T", "Adaptive",
+         "Saving"],
+        rows,
+        title=(
+            "Adaptive thread allocation vs AF3's static default of "
+            f"{AF3_DEFAULT_THREADS} threads"
+        ),
+    ))
+    print(
+        "\nEvery configuration peaks below 8 threads — static threading"
+        "\npolicies are suboptimal; allocate per input and platform."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,230 @@
+"""Command-line interface: the shell-facing face of AFSysBench.
+
+The paper's AFSysBench is a shell harness; this module provides the
+equivalent entry points over the simulated platforms::
+
+    python -m repro run --sample 2PV7 --platform Server --threads 4
+    python -m repro sweep --samples 2PV7 promo --threads 1 2 4
+    python -m repro artifact table3
+    python -m repro estimate --json input.json
+    python -m repro samples
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .core.pipeline import Af3Pipeline
+from .core.runner import BenchmarkRunner
+from .core.suite import AfSysBench
+from .hardware.memory import OutOfMemoryError
+from .hardware.platform import PLATFORMS, get_platform
+from .msa.engine import MsaEngine, MsaEngineConfig
+from .sequences.builtin import builtin_samples
+from .sequences.input_json import load_json
+from .sequences.sample import InputSample, classify_complexity
+
+GIB = 1024 ** 3
+
+
+def _small_engine(seed: int = 0) -> MsaEngine:
+    return MsaEngine(
+        MsaEngineConfig(num_background=40, homologs_per_query=6, seed=seed)
+    )
+
+
+def _resolve_sample(args: argparse.Namespace) -> InputSample:
+    if getattr(args, "json", None):
+        assembly = load_json(args.json)
+        return InputSample(
+            name=assembly.name,
+            assembly=assembly,
+            complexity=classify_complexity(
+                assembly.total_residues, assembly.chain_count,
+                mixed=len({c.molecule_type for c in assembly}) > 1,
+            ),
+            target_characteristic="user-supplied input",
+        )
+    samples = builtin_samples()
+    name = args.sample
+    for key, sample in samples.items():
+        if key.lower() == name.lower():
+            return sample
+    raise SystemExit(
+        f"unknown sample {name!r}; available: {', '.join(samples)}"
+    )
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    sample = _resolve_sample(args)
+    platform = get_platform(args.platform)
+    pipeline = Af3Pipeline(platform, msa_engine=_small_engine(args.seed))
+    try:
+        result = pipeline.run(sample, threads=args.threads)
+    except OutOfMemoryError as exc:
+        print(f"OOM: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(json.dumps({
+            "sample": result.sample_name,
+            "platform": result.platform_name,
+            "threads": result.threads,
+            "msa_seconds": result.msa_seconds,
+            "inference_seconds": result.inference_seconds,
+            "msa_fraction": result.msa_fraction,
+            "inference_breakdown": result.inference.as_dict(),
+            "peak_memory_gib": result.peak_memory_bytes / GIB,
+            "disk_utilization": result.iostat.utilization,
+            "ipc": result.msa_report.ipc,
+            "llc_miss_pct": result.msa_report.llc_miss_pct,
+        }, indent=2))
+    else:
+        print(f"{result.sample_name} on {result.platform_name} "
+              f"({result.threads} threads)")
+        print(f"  MSA:       {result.msa_seconds:10.1f} s "
+              f"({100 * result.msa_fraction:.1f} %)")
+        print(f"  inference: {result.inference_seconds:10.1f} s")
+        for phase, seconds in result.inference.as_dict().items():
+            print(f"    {phase:15s} {seconds:8.1f} s")
+        print(f"  peak memory: {result.peak_memory_bytes / GIB:.2f} GiB "
+              f"({result.memory_outcome.value})")
+        print(f"  NVMe util:   {100 * result.iostat.utilization:.0f} %")
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    runner = BenchmarkRunner(
+        platforms=[get_platform(p) for p in args.platforms],
+        msa_config=MsaEngineConfig(
+            num_background=40, homologs_per_query=6, seed=args.seed
+        ),
+    )
+    results = runner.run_sweep(
+        sample_names=args.samples or None, thread_counts=args.threads
+    )
+    if args.format == "json":
+        print(results.to_json())
+    else:
+        from .core.report import render_table
+
+        rows = [
+            (
+                r.sample, r.platform, r.threads,
+                f"{r.msa_seconds:,.0f}", f"{r.inference_seconds:,.0f}",
+                f"{100 * r.msa_fraction:.1f}%",
+                "OOM" if r.oom else "",
+            )
+            for r in results
+        ]
+        print(render_table(
+            ["Sample", "Platform", "T", "MSA (s)", "Inference (s)",
+             "MSA %", ""],
+            rows,
+            title="AFSysBench sweep",
+        ))
+    return 0
+
+
+def cmd_artifact(args: argparse.Namespace) -> int:
+    bench = AfSysBench.small(seed=args.seed)
+    if args.name == "all":
+        from .core.campaign import run_campaign
+
+        result = run_campaign(bench, output_dir=args.out)
+        print(f"wrote {result.count} artifacts to {result.output_dir}/ "
+              f"(manifest: {result.manifest_path})")
+        return 0
+    try:
+        print(bench._dispatch(args.name))
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    return 0
+
+
+def cmd_estimate(args: argparse.Namespace) -> int:
+    from .core.estimator import estimate
+
+    sample = _resolve_sample(args)
+    report = estimate(sample.assembly, threads=args.threads)
+    print(report.render())
+    return 0 if report.safe_somewhere else 3
+
+
+def cmd_samples(_args: argparse.Namespace) -> int:
+    from .core.report import render_table
+
+    rows = [
+        (
+            s.name, s.structure_description, s.complexity.value,
+            s.sequence_length, s.target_characteristic,
+        )
+        for s in builtin_samples().values()
+    ]
+    print(render_table(
+        ["Sample", "Structure", "Complexity", "Length", "Target"], rows
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="afsysbench",
+        description="AF3 workload characterization benchmark suite "
+                    "(simulated platforms)",
+    )
+    parser.add_argument("--seed", type=int, default=0,
+                        help="seed for the synthetic databases")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="simulate one end-to-end AF3 run")
+    run.add_argument("--sample", default="2PV7")
+    run.add_argument("--json", help="AF3 JSON input file instead of --sample")
+    run.add_argument("--platform", default="Server",
+                     choices=sorted(PLATFORMS), help="platform preset")
+    run.add_argument("--threads", type=int, default=8)
+    run.add_argument("--format", choices=["text", "json"], default="text")
+    run.set_defaults(func=cmd_run)
+
+    sweep = sub.add_parser("sweep", help="samples x platforms x threads")
+    sweep.add_argument("--samples", nargs="*", default=None)
+    sweep.add_argument("--platforms", nargs="*",
+                       default=["Server", "Desktop"])
+    sweep.add_argument("--threads", nargs="*", type=int,
+                       default=[1, 2, 4, 6, 8])
+    sweep.add_argument("--format", choices=["text", "json"], default="text")
+    sweep.set_defaults(func=cmd_sweep)
+
+    artifact = sub.add_parser(
+        "artifact",
+        help="regenerate a paper table/figure (e.g. table3, fig5, all)",
+    )
+    artifact.add_argument("name")
+    artifact.add_argument("--out", default="artifacts",
+                          help="output directory for 'all'")
+    artifact.set_defaults(func=cmd_artifact)
+
+    estimate = sub.add_parser(
+        "estimate", help="static memory pre-check for an input (Section VI)"
+    )
+    estimate.add_argument("--sample", default="6QNR")
+    estimate.add_argument("--json", help="AF3 JSON input file")
+    estimate.add_argument("--threads", type=int, default=8)
+    estimate.set_defaults(func=cmd_estimate)
+
+    samples = sub.add_parser("samples", help="list builtin inputs")
+    samples.set_defaults(func=cmd_samples)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

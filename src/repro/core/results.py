@@ -1,0 +1,143 @@
+"""Result records and aggregation for benchmark sweeps."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+from typing import Dict, Iterable, List, Optional, Sequence
+
+
+@dataclasses.dataclass(frozen=True)
+class RunRecord:
+    """One (sample, platform, threads) measurement."""
+
+    sample: str
+    platform: str
+    threads: int
+    msa_seconds: float
+    inference_seconds: float
+    msa_fraction: float
+    init_seconds: float = 0.0
+    xla_seconds: float = 0.0
+    compute_seconds: float = 0.0
+    finalize_seconds: float = 0.0
+    peak_memory_gib: float = 0.0
+    disk_utilization: float = 0.0
+    oom: bool = False
+
+    @property
+    def total_seconds(self) -> float:
+        return self.msa_seconds + self.inference_seconds
+
+    def to_dict(self) -> Dict[str, object]:
+        return dataclasses.asdict(self)
+
+
+class ResultSet:
+    """A queryable collection of :class:`RunRecord`."""
+
+    def __init__(self, records: Optional[Iterable[RunRecord]] = None) -> None:
+        self._records: List[RunRecord] = list(records or [])
+
+    def add(self, record: RunRecord) -> None:
+        self._records.append(record)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self):
+        return iter(self._records)
+
+    @property
+    def records(self) -> List[RunRecord]:
+        return list(self._records)
+
+    def filter(
+        self,
+        sample: Optional[str] = None,
+        platform: Optional[str] = None,
+        threads: Optional[int] = None,
+    ) -> "ResultSet":
+        out = [
+            r for r in self._records
+            if (sample is None or r.sample == sample)
+            and (platform is None or r.platform == platform)
+            and (threads is None or r.threads == threads)
+        ]
+        return ResultSet(out)
+
+    def one(
+        self, sample: str, platform: str, threads: int
+    ) -> RunRecord:
+        matches = self.filter(sample, platform, threads).records
+        if len(matches) != 1:
+            raise KeyError(
+                f"expected exactly one record for ({sample}, {platform}, "
+                f"{threads}), found {len(matches)}"
+            )
+        return matches[0]
+
+    def samples(self) -> List[str]:
+        seen: List[str] = []
+        for r in self._records:
+            if r.sample not in seen:
+                seen.append(r.sample)
+        return seen
+
+    def platforms(self) -> List[str]:
+        seen: List[str] = []
+        for r in self._records:
+            if r.platform not in seen:
+                seen.append(r.platform)
+        return seen
+
+    def thread_counts(self) -> List[int]:
+        return sorted({r.threads for r in self._records})
+
+    def speedup_curve(self, sample: str, platform: str) -> Dict[int, float]:
+        """MSA speedup vs the 1-thread run (Fig 5's right panel)."""
+        sub = self.filter(sample=sample, platform=platform)
+        base = None
+        times: Dict[int, float] = {}
+        for r in sorted(sub.records, key=lambda r: r.threads):
+            times[r.threads] = r.msa_seconds
+            if r.threads == 1:
+                base = r.msa_seconds
+        if base is None:
+            raise KeyError(f"no 1-thread baseline for {sample}/{platform}")
+        return {t: base / v for t, v in times.items()}
+
+    def best_threads(self, sample: str, platform: str) -> int:
+        sub = self.filter(sample=sample, platform=platform).records
+        if not sub:
+            raise KeyError(f"no records for {sample}/{platform}")
+        return min(sub, key=lambda r: r.total_seconds).threads
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps([r.to_dict() for r in self._records], indent=indent)
+
+    def to_csv(self) -> str:
+        """Comma-separated export (header + one row per record)."""
+        fields = [f.name for f in dataclasses.fields(RunRecord)]
+        lines = [",".join(fields)]
+        for record in self._records:
+            row = record.to_dict()
+            lines.append(",".join(str(row[f]) for f in fields))
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "ResultSet":
+        data = json.loads(text)
+        return cls(RunRecord(**item) for item in data)
+
+
+def coefficient_of_variation(values: Sequence[float]) -> float:
+    """CV = std/mean; the paper reports <=5 % across repeated runs."""
+    if not values:
+        raise ValueError("values must be non-empty")
+    mean = sum(values) / len(values)
+    if mean == 0:
+        return 0.0
+    var = sum((v - mean) ** 2 for v in values) / len(values)
+    return math.sqrt(var) / mean

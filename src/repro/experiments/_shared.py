@@ -1,0 +1,24 @@
+"""Shared helpers for the per-table/figure experiment drivers."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.runner import BenchmarkRunner
+from ..msa.engine import MsaEngineConfig
+
+#: Paper values quoted next to our measurements in rendered artifacts.
+PAPER_NOTE = "(paper values in parentheses where published)"
+
+
+def default_runner(seed: int = 0) -> BenchmarkRunner:
+    """A runner with fast synthetic databases (shapes are unchanged)."""
+    return BenchmarkRunner(
+        msa_config=MsaEngineConfig(
+            num_background=48, homologs_per_query=6, seed=seed
+        )
+    )
+
+
+def ensure_runner(runner: Optional[BenchmarkRunner]) -> BenchmarkRunner:
+    return runner or default_runner()

@@ -1,0 +1,74 @@
+"""Figure 2: peak memory consumption vs RNA sequence length.
+
+Sweeps nhmmer's memory model over 7K00-derived RNA lengths and marks
+the Server's DRAM and DRAM+CXL capacities, reproducing the paper's
+measured anchors (79.3 GiB @ 621 nt, 506 @ 935, 644 @ 1,135, OOM at
+1,335 with 768 GiB total).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..core.report import render_table
+from ..core.runner import BenchmarkRunner
+from ..hardware.memory import MemoryOutcome, SERVER_MEMORY
+from ..msa.nhmmer import rna_peak_memory_bytes
+from ._shared import ensure_runner
+
+GIB = 1024 ** 3
+
+#: RNA lengths from the paper plus a denser sweep for the curve.
+SWEEP_LENGTHS: Tuple[int, ...] = (200, 400, 621, 800, 935, 1035, 1135, 1235, 1335)
+
+#: The paper's measured (length, GiB) anchor points.
+PAPER_ANCHORS: Dict[int, float] = {621: 79.3, 935: 506.0, 1135: 644.0}
+
+
+def sweep(lengths: Optional[Tuple[int, ...]] = None) -> List[Dict[str, object]]:
+    """Evaluate the memory model and classify each point."""
+    rows = []
+    for length in lengths or SWEEP_LENGTHS:
+        peak = rna_peak_memory_bytes(length)
+        outcome = SERVER_MEMORY.check(peak)
+        rows.append(
+            {
+                "rna_length": length,
+                "peak_gib": peak / GIB,
+                "paper_gib": PAPER_ANCHORS.get(length),
+                "outcome": outcome,
+            }
+        )
+    return rows
+
+
+def render(runner: Optional[BenchmarkRunner] = None) -> str:
+    ensure_runner(runner)
+    rows = []
+    for point in sweep():
+        paper = point["paper_gib"]
+        rows.append(
+            (
+                point["rna_length"],
+                f"{point['peak_gib']:.1f}",
+                f"{paper:.1f}" if paper else "-",
+                {
+                    MemoryOutcome.FITS_DRAM: "fits 512 GiB DRAM",
+                    MemoryOutcome.FITS_WITH_CXL: "needs CXL expansion",
+                    MemoryOutcome.OOM: "OOM (exceeds 768 GiB)",
+                }[point["outcome"]],
+            )
+        )
+    return render_table(
+        ["RNA length (nt)", "Peak memory (GiB)", "Paper (GiB)", "Server outcome"],
+        rows,
+        title="Figure 2: Peak memory vs RNA sequence length (nhmmer)",
+    )
+
+
+def main() -> None:
+    print(render())
+
+
+if __name__ == "__main__":
+    main()

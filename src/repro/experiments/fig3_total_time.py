@@ -1,0 +1,53 @@
+"""Figure 3: total AF3 execution time, stacked MSA + inference bars,
+across samples, platforms and thread counts."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..core.report import render_stacked_bars
+from ..core.results import ResultSet
+from ..core.runner import BenchmarkRunner
+from ..sequences.builtin import ALL_SAMPLES
+from ._shared import ensure_runner
+
+THREADS = (1, 2, 4, 6, 8)
+
+
+def collect(runner: BenchmarkRunner) -> ResultSet:
+    return runner.run_sweep(sample_names=list(ALL_SAMPLES), thread_counts=THREADS)
+
+
+def render(runner: Optional[BenchmarkRunner] = None) -> str:
+    runner = ensure_runner(runner)
+    results = collect(runner)
+    sections = []
+    for sample in results.samples():
+        data: Dict[str, Dict[str, float]] = {}
+        for platform in results.platforms():
+            for rec in sorted(
+                results.filter(sample=sample, platform=platform).records,
+                key=lambda r: r.threads,
+            ):
+                data[f"{platform[:7]:7s} {rec.threads}T"] = {
+                    "msa": rec.msa_seconds,
+                    "inference": rec.inference_seconds,
+                }
+        sections.append(
+            render_stacked_bars(
+                data, ["msa", "inference"],
+                title=f"-- {sample} --",
+            )
+        )
+    return (
+        "Figure 3: Total AF3 execution time (MSA + inference stacked)\n\n"
+        + "\n\n".join(sections)
+    )
+
+
+def main() -> None:
+    print(render())
+
+
+if __name__ == "__main__":
+    main()

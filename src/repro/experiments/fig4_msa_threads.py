@@ -1,0 +1,41 @@
+"""Figure 4: MSA execution time vs thread count (1-8) per sample and
+platform."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..core.report import render_series
+from ..core.runner import BenchmarkRunner
+from ..sequences.builtin import FIGURE_SAMPLES
+from ._shared import ensure_runner
+
+THREADS = (1, 2, 4, 6, 8)
+
+
+def collect(runner: BenchmarkRunner) -> Dict[str, Dict[int, float]]:
+    results = runner.run_sweep(
+        sample_names=list(FIGURE_SAMPLES), thread_counts=THREADS
+    )
+    series: Dict[str, Dict[int, float]] = {}
+    for rec in results:
+        series.setdefault(f"{rec.sample}/{rec.platform}", {})[
+            rec.threads
+        ] = rec.msa_seconds
+    return series
+
+
+def render(runner: Optional[BenchmarkRunner] = None) -> str:
+    runner = ensure_runner(runner)
+    return render_series(
+        collect(runner),
+        title="Figure 4: MSA execution time across 1-8 threads (seconds)",
+    )
+
+
+def main() -> None:
+    print(render())
+
+
+if __name__ == "__main__":
+    main()

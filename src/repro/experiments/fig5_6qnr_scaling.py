@@ -1,0 +1,59 @@
+"""Figure 5: thread-level performance and speedup scaling of MSA on
+6QNR — the most compute-intensive sample.
+
+Reproduces both panels: absolute time vs threads, and speedup vs the
+ideal-linear line, showing the saturation at 4 threads and the
+degradation at 6-8 threads that makes AF3's default of 8 threads
+counterproductive.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..core.report import render_series
+from ..core.runner import BenchmarkRunner
+from ._shared import ensure_runner
+
+THREADS = (1, 2, 4, 6, 8)
+
+
+def collect(
+    runner: BenchmarkRunner, platform_name: str = "Desktop"
+) -> Tuple[Dict[int, float], Dict[int, float]]:
+    """(time_seconds, speedup) per thread count on one platform."""
+    results = runner.run_sweep(sample_names=["6QNR"], thread_counts=THREADS)
+    times = {
+        rec.threads: rec.msa_seconds
+        for rec in results.filter(sample="6QNR", platform=platform_name)
+    }
+    base = times[1]
+    speedups = {t: base / v for t, v in times.items()}
+    return times, speedups
+
+
+def render(runner: Optional[BenchmarkRunner] = None) -> str:
+    runner = ensure_runner(runner)
+    sections = []
+    for platform in ("Server", "Desktop"):
+        times, speedups = collect(runner, platform)
+        series = {
+            "MSA time (s)": times,
+            "speedup": {t: round(s, 2) for t, s in speedups.items()},
+            "ideal": {t: float(t) for t in times},
+        }
+        sections.append(
+            render_series(series, title=f"-- 6QNR on {platform} --", unit="")
+        )
+    return (
+        "Figure 5: Thread-level performance and speedup scaling of MSA "
+        "on 6QNR\n\n" + "\n\n".join(sections)
+    )
+
+
+def main() -> None:
+    print(render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""Figure 6: inference phase time vs thread configuration (1-6).
+
+Shows the paper's finding that inference barely responds to CPU thread
+count: kernel dispatch is single-threaded, and the Server's small
+inputs actually degrade slightly under multi-threading.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..core.report import render_series
+from ..core.runner import BenchmarkRunner
+from ..sequences.builtin import FIGURE_SAMPLES
+from ._shared import ensure_runner
+
+THREADS = (1, 2, 4, 6)
+
+
+def collect(runner: BenchmarkRunner) -> Dict[str, Dict[int, float]]:
+    results = runner.run_sweep(
+        sample_names=list(FIGURE_SAMPLES), thread_counts=THREADS
+    )
+    series: Dict[str, Dict[int, float]] = {}
+    for rec in results:
+        series.setdefault(f"{rec.sample}/{rec.platform}", {})[
+            rec.threads
+        ] = rec.inference_seconds
+    return series
+
+
+def render(runner: Optional[BenchmarkRunner] = None) -> str:
+    runner = ensure_runner(runner)
+    return render_series(
+        collect(runner),
+        title=(
+            "Figure 6: Inference phase execution time across thread "
+            "configurations (seconds)"
+        ),
+    )
+
+
+def main() -> None:
+    print(render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Figure 7: relative MSA vs inference time under each system's optimal
+thread setting.
+
+The paper's headline pipeline-composition result: MSA dominates with
+75-80 % on simple inputs and >94 % on the most complex Server runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..core.report import render_stacked_bars
+from ..core.results import ResultSet
+from ..core.runner import BenchmarkRunner
+from ..sequences.builtin import ALL_SAMPLES
+from ._shared import ensure_runner
+
+THREADS = (1, 2, 4, 6, 8)
+
+
+def collect(runner: BenchmarkRunner) -> Dict[Tuple[str, str], Dict[str, float]]:
+    """Per (sample, platform): phase fractions at the best threads."""
+    results: ResultSet = runner.run_sweep(
+        sample_names=list(ALL_SAMPLES), thread_counts=THREADS
+    )
+    out: Dict[Tuple[str, str], Dict[str, float]] = {}
+    for sample in results.samples():
+        for platform in results.platforms():
+            best = results.best_threads(sample, platform)
+            rec = results.one(sample, platform, best)
+            total = rec.total_seconds or 1.0
+            out[(sample, platform)] = {
+                "msa_pct": 100.0 * rec.msa_seconds / total,
+                "inference_pct": 100.0 * rec.inference_seconds / total,
+                "best_threads": best,
+            }
+    return out
+
+
+def render(runner: Optional[BenchmarkRunner] = None) -> str:
+    runner = ensure_runner(runner)
+    data = collect(runner)
+    bars = {
+        f"{sample}/{platform} ({int(v['best_threads'])}T)": {
+            "msa%": v["msa_pct"],
+            "inference%": v["inference_pct"],
+        }
+        for (sample, platform), v in data.items()
+    }
+    return render_stacked_bars(
+        bars, ["msa%", "inference%"],
+        title=(
+            "Figure 7: Relative time distribution between MSA and "
+            "inference (optimal threads per system)"
+        ),
+        unit="%",
+    )
+
+
+def main() -> None:
+    print(render())
+
+
+if __name__ == "__main__":
+    main()

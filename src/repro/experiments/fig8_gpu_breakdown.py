@@ -1,0 +1,48 @@
+"""Figure 8: GPU inference time breakdown (Nsight view).
+
+Server: initialisation + XLA compilation dominate short inputs (>75 %).
+Desktop: GPU computation dominates (71 s of ~100 s for 2PV7).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..core.report import render_stacked_bars
+from ..core.runner import BenchmarkRunner
+from ..hardware.gpu import InferenceBreakdown
+from ..sequences.builtin import FIGURE_SAMPLES
+from ._shared import ensure_runner
+
+SEGMENTS = ("initialization", "xla_compile", "gpu_compute", "finalization")
+
+
+def collect(runner: BenchmarkRunner) -> Dict[str, InferenceBreakdown]:
+    out: Dict[str, InferenceBreakdown] = {}
+    for platform in runner.platforms:
+        pipeline = runner.pipeline_for(platform)
+        for name in FIGURE_SAMPLES:
+            sample = runner.samples[name]
+            result = pipeline.run(sample, threads=1)
+            out[f"{name}/{platform.name}"] = result.inference
+    return out
+
+
+def render(runner: Optional[BenchmarkRunner] = None) -> str:
+    runner = ensure_runner(runner)
+    data = {
+        label: breakdown.as_dict()
+        for label, breakdown in collect(runner).items()
+    }
+    return render_stacked_bars(
+        data, list(SEGMENTS),
+        title="Figure 8: GPU inference time breakdown (Nsight profiling)",
+    )
+
+
+def main() -> None:
+    print(render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""Figure 9: execution-time breakdown of Pairformer and Diffusion
+layers (red slices: triangle layers; blue slices: local/global
+attention)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.report import render_pie
+from ..core.runner import BenchmarkRunner
+from ..profiling.jax_profiler import diffusion_shares, pairformer_shares
+from ._shared import ensure_runner
+
+SAMPLES = {"2PV7": 484, "promo": 857}
+
+
+def render(runner: Optional[BenchmarkRunner] = None) -> str:
+    runner = ensure_runner(runner)
+    sections = []
+    for name, tokens in SAMPLES.items():
+        pf = {
+            scope.split(".", 1)[1]: share
+            for scope, share in pairformer_shares(tokens).items()
+        }
+        df = {
+            scope.split(".", 1)[1]: share
+            for scope, share in diffusion_shares(tokens).items()
+        }
+        sections.append(render_pie(pf, title=f"-- {name}: Pairformer block --"))
+        sections.append(render_pie(df, title=f"-- {name}: Diffusion step --"))
+    return (
+        "Figure 9: Execution time breakdown of Pairformer (triangle "
+        "layers) and Diffusion (local/global attention) layers\n\n"
+        + "\n\n".join(sections)
+    )
+
+
+def main() -> None:
+    print(render())
+
+
+if __name__ == "__main__":
+    main()

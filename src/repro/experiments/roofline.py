@@ -1,0 +1,50 @@
+"""Layer roofline analysis (extension artifact).
+
+Places every Pairformer/Diffusion layer on the H100 and RTX 4080
+rooflines, quantifying the paper's qualitative locality claims: which
+layers are compute-bound, which are memory-bound, and which never
+escape launch overhead at AF3's problem sizes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.report import render_table
+from ..core.runner import BenchmarkRunner
+from ..hardware.gpu import H100, RTX_4080
+from ..profiling.analysis import gpu_roofline
+from ._shared import ensure_runner
+
+
+def render(runner: Optional[BenchmarkRunner] = None,
+           num_tokens: int = 857) -> str:
+    ensure_runner(runner)
+    sections = []
+    for gpu in (H100, RTX_4080):
+        rows = []
+        for p in gpu_roofline(num_tokens, gpu):
+            rows.append((
+                p.scope.split(".", 1)[1],
+                f"{p.flops / 1e9:,.1f}",
+                f"{p.arithmetic_intensity:.1f}",
+                f"{p.machine_balance:.1f}",
+                p.bound.value,
+            ))
+        sections.append(render_table(
+            ["Layer", "GFLOPs", "AI (F/B)", "Ridge (F/B)", "Bound"],
+            rows,
+            title=f"-- {gpu.name}, N={num_tokens} --",
+        ))
+    return (
+        "Layer roofline analysis (per Pairformer block / diffusion step)\n\n"
+        + "\n\n".join(sections)
+    )
+
+
+def main() -> None:
+    print(render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,125 @@
+"""Section VI quantified: the paper's three optimization proposals.
+
+The paper closes with optimization directions but does not measure
+them; this driver quantifies each on the simulated platforms:
+
+1. **Static memory estimation** — runs the pre-check over the builtin
+   suite and counts the wasted runs it prevents.
+2. **Persistent model state** — serves a request stream through the
+   warm :class:`~repro.core.server.InferenceServer` and reports the
+   throughput gain over AF3's per-request Docker deployment.
+3. **Storage strategies** — database preloading (page-cache warm vs
+   cold) and the resulting disk-read elimination.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.estimator import estimate
+from ..core.report import render_table
+from ..core.runner import BenchmarkRunner
+from ..core.server import InferenceServer
+from ..hardware.platform import DESKTOP, SERVER
+from ..hardware.storage import PageCacheModel
+from ..sequences.builtin import builtin_samples
+from ._shared import ensure_runner
+
+GIB = 1024 ** 3
+
+
+def quantify_estimator() -> str:
+    rows = []
+    prevented = 0
+    for sample in builtin_samples().values():
+        est = estimate(sample.assembly)
+        blocked = [v.platform_name for v in est.verdicts if not v.runnable]
+        prevented += len(blocked)
+        rows.append((
+            sample.name,
+            f"{est.msa_peak_bytes / GIB:.1f}",
+            f"{est.gpu_demand_bytes / GIB:.1f}",
+            ", ".join(blocked) or "-",
+        ))
+    table = render_table(
+        ["Sample", "MSA peak (GiB)", "GPU need (GiB)",
+         "Would OOM on (prevented)"],
+        rows,
+        title="(1) Static memory estimation: wasted runs prevented",
+    )
+    return table + f"\n  -> {prevented} doomed run(s) caught before launch"
+
+
+def quantify_persistent_state() -> str:
+    samples = builtin_samples()
+    stream = ["2PV7", "2PV7", "7RCE", "promo", "1YY9", "2PV7", "promo"]
+    rows = []
+    for platform in (SERVER, DESKTOP):
+        server = InferenceServer(platform)
+        for name in stream:
+            server.submit(samples[name])
+        rows.append((
+            platform.name,
+            f"{server.cold_equivalent_seconds():,.0f}s",
+            f"{server.total_seconds():,.0f}s",
+            f"{server.speedup_over_cold():.2f}x",
+            len(server.warm_buckets),
+        ))
+    return render_table(
+        ["Platform", "Per-request Docker", "Warm server", "Speedup",
+         "XLA buckets compiled"],
+        rows,
+        title=(
+            f"(2) Persistent model state over a {len(stream)}-request "
+            "stream"
+        ),
+    ) + (
+        "\n  Persistent state pays off where init/XLA dominate (the"
+        "\n  Server, exactly the paper's motivation); on the compute-"
+        "\n  bound Desktop the executable cache's shape-padding waste"
+        "\n  can exceed the smaller overhead savings."
+    )
+
+
+def quantify_storage() -> str:
+    dbs = [62 * GIB, 120 * GIB, 17 * GIB]
+    passes = [3, 3, 3]  # a 3-chain input re-scans each database
+    rows = []
+    for name, cache_bytes in (("Server 512G", 480 * GIB),
+                              ("Desktop 64G", 48 * GIB),
+                              ("Desktop 128G", 110 * GIB)):
+        cache = PageCacheModel(page_cache_bytes=cache_bytes)
+        cold = cache.cold_bytes(dbs, passes, warm_start=False)
+        preloaded = cache.cold_bytes(dbs, passes, warm_start=True)
+        saved = 1.0 - preloaded / cold if cold else 0.0
+        rows.append((
+            name, f"{cold / GIB:,.0f}", f"{preloaded / GIB:,.0f}",
+            f"{100 * saved:.0f}%",
+        ))
+    return render_table(
+        ["Configuration", "Cold reads (GiB)", "With preloading (GiB)",
+         "Disk I/O saved"],
+        rows,
+        title="(3) Database preloading (protein DBs, 3-chain input)",
+    ) + (
+        "\n  Preloading only helps where the databases fit: effective on"
+        "\n  the Server, a no-op on the 64 GiB Desktop (paper Section VI)."
+    )
+
+
+def render(runner: Optional[BenchmarkRunner] = None) -> str:
+    ensure_runner(runner)
+    return "\n\n".join([
+        "Section VI optimization directions, quantified",
+        quantify_estimator(),
+        quantify_persistent_state(),
+        quantify_storage(),
+    ])
+
+
+def main() -> None:
+    print(render())
+
+
+if __name__ == "__main__":
+    main()

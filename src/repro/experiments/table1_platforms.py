@@ -1,0 +1,34 @@
+"""Table I: system hardware configurations."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.report import render_table
+from ..core.runner import BenchmarkRunner
+from ..hardware.platform import DESKTOP, SERVER
+from ._shared import ensure_runner
+
+
+def render(runner: Optional[BenchmarkRunner] = None) -> str:
+    """Render the two platform configurations side by side."""
+    ensure_runner(runner)
+    server = SERVER.table_row()
+    desktop = DESKTOP.table_row()
+    rows = [
+        (key, server[key], desktop[key])
+        for key in server
+        if key != "Configuration"
+    ]
+    return render_table(
+        ["", "Server", "Desktop"], rows,
+        title="Table I: System Hardware Configurations",
+    )
+
+
+def main() -> None:
+    print(render())
+
+
+if __name__ == "__main__":
+    main()

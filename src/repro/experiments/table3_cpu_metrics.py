@@ -1,0 +1,95 @@
+"""Table III: CPU performance metrics across samples and thread counts.
+
+Runs the MSA trace of 2PV7 and promo through both CPU models at 1/4/6
+threads and prints the six perf counters next to the paper's values.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..core.report import render_table
+from ..core.runner import BenchmarkRunner
+from ..hardware.cpu import CpuSimulator, RYZEN_7900X, XEON_5416S
+from ..profiling.perf import CounterSummary
+from ._shared import ensure_runner
+
+THREADS = (1, 4, 6)
+SAMPLES = ("2PV7", "promo")
+
+#: Paper Table III values: (sample, vendor) -> {threads: (ipc, mpki,
+#: l1, llc, dtlb, branch)}.
+PAPER_VALUES: Dict[Tuple[str, str], Dict[int, Tuple[float, ...]]] = {
+    ("2PV7", "intel"): {
+        1: (3.68, 17.4, 0.14, 56.2, 0.01, 0.22),
+        4: (3.56, 30.9, 0.16, 55.6, 0.01, 0.22),
+        6: (3.49, 41.0, 0.15, 56.4, 0.01, 0.22),
+    },
+    ("2PV7", "amd"): {
+        1: (3.08, 15.1, 0.68, 1.1, 20.1, 0.89),
+        4: (2.91, 13.1, 0.87, 6.3, 35.7, 0.96),
+        6: (2.85, 12.4, 0.86, 41.4, 37.0, 0.96),
+    },
+    ("promo", "intel"): {
+        1: (3.34, 33.3, 0.47, 59.6, 0.00, 0.30),
+        4: (3.39, 31.9, 0.47, 55.5, 0.00, 0.30),
+        6: (3.40, 35.6, 0.47, 38.6, 0.01, 0.30),
+    },
+    ("promo", "amd"): {
+        1: (2.99, 5.31, 1.75, 26.3, 6.55, 0.88),
+        4: (2.77, 4.85, 1.94, 26.3, 11.9, 0.89),
+        6: (2.48, 4.14, 2.45, 19.0, 10.4, 0.91),
+    },
+}
+
+METRIC_NAMES = (
+    "IPC", "Cache Miss", "L1 Miss (%)", "LLC Miss (%)",
+    "dTLB Miss (%)", "Branch Miss (%)",
+)
+
+
+def collect(
+    runner: BenchmarkRunner,
+) -> Dict[Tuple[str, str, int], CounterSummary]:
+    out: Dict[Tuple[str, str, int], CounterSummary] = {}
+    for sample_name in SAMPLES:
+        trace = runner.msa_engine.run(runner.samples[sample_name]).trace
+        for spec in (XEON_5416S, RYZEN_7900X):
+            sim = CpuSimulator(spec)
+            for threads in THREADS:
+                report = sim.simulate(trace, threads)
+                out[(sample_name, spec.vendor, threads)] = (
+                    CounterSummary.from_report(report)
+                )
+    return out
+
+
+def render(runner: Optional[BenchmarkRunner] = None) -> str:
+    runner = ensure_runner(runner)
+    summaries = collect(runner)
+    rows = []
+    for sample_name in SAMPLES:
+        for vendor in ("intel", "amd"):
+            paper = PAPER_VALUES[(sample_name, vendor)]
+            for idx, metric in enumerate(METRIC_NAMES):
+                row = [sample_name, vendor, metric]
+                for threads in THREADS:
+                    ours = summaries[(sample_name, vendor, threads)].rows()[idx][1]
+                    row.append(f"{ours:.2f} ({paper[threads][idx]})")
+                rows.append(tuple(row))
+    return render_table(
+        ["Input", "CPU", "Metric", "1T", "4T", "6T"],
+        rows,
+        title=(
+            "Table III: CPU performance metrics, simulated (paper "
+            "measurement in parentheses)"
+        ),
+    )
+
+
+def main() -> None:
+    print(render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+"""Table IV: function-level performance on the Server.
+
+perf-record style attribution: top functions by CPU-cycle share and by
+cache-miss share, for 2PV7 and promo at 1 and 4 threads.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..core.report import render_table
+from ..core.runner import BenchmarkRunner
+from ..hardware.cpu import CpuPhaseReport, CpuSimulator, XEON_5416S
+from ..profiling.perf import cache_miss_shares, cycle_shares
+from ._shared import ensure_runner
+
+SAMPLES = ("2PV7", "promo")
+
+#: Paper Table IV anchors: (metric, function) -> {(sample, threads): %}.
+PAPER_VALUES: Dict[Tuple[str, str], Dict[Tuple[str, int], float]] = {
+    ("cycles", "calc_band_9"): {
+        ("2PV7", 1): 28.7, ("2PV7", 4): 27.05,
+        ("promo", 1): 32.1, ("promo", 4): 29.8,
+    },
+    ("cycles", "calc_band_10"): {
+        ("2PV7", 1): 26.29, ("2PV7", 4): 25.98,
+        ("promo", 1): 24.5, ("promo", 4): 26.2,
+    },
+    ("cycles", "addbuf"): {
+        ("2PV7", 1): 16.34, ("2PV7", 4): 17.40,
+        ("promo", 1): 18.2, ("promo", 4): 19.1,
+    },
+    ("cycles", "seebuf"): {
+        ("2PV7", 1): 6.09, ("2PV7", 4): 6.07,
+        ("promo", 1): 7.3, ("promo", 4): 6.9,
+    },
+    ("cache_misses", "copy_to_iter"): {
+        ("2PV7", 1): 46.47, ("2PV7", 4): 24.51,
+        ("promo", 1): 42.1, ("promo", 4): 22.8,
+    },
+    ("cache_misses", "calc_band_9"): {
+        ("2PV7", 1): 14.24, ("2PV7", 4): 27.02,
+        ("promo", 1): 16.8, ("promo", 4): 29.3,
+    },
+    ("cache_misses", "addbuf"): {
+        ("2PV7", 1): 10.02, ("2PV7", 4): 17.28,
+        ("promo", 1): 12.4, ("promo", 4): 18.9,
+    },
+}
+
+
+def collect(runner: BenchmarkRunner) -> Dict[Tuple[str, int], CpuPhaseReport]:
+    sim = CpuSimulator(XEON_5416S)
+    out: Dict[Tuple[str, int], CpuPhaseReport] = {}
+    for name in SAMPLES:
+        trace = runner.msa_engine.run(runner.samples[name]).trace
+        for threads in (1, 4):
+            out[(name, threads)] = sim.simulate(trace, threads)
+    return out
+
+
+def render(runner: Optional[BenchmarkRunner] = None) -> str:
+    runner = ensure_runner(runner)
+    reports = collect(runner)
+    shares: Dict[Tuple[str, str, str, int], float] = {}
+    for (name, threads), report in reports.items():
+        for fn, share in cycle_shares(report, top=12).items():
+            shares[("cycles", fn, name, threads)] = 100.0 * share
+        for fn, share in cache_miss_shares(report, top=12).items():
+            shares[("cache_misses", fn, name, threads)] = 100.0 * share
+
+    rows = []
+    for (metric, fn), paper in PAPER_VALUES.items():
+        row = [
+            "CPU Cycles (%)" if metric == "cycles" else "Cache Misses (%)",
+            fn,
+        ]
+        for name in SAMPLES:
+            for threads in (1, 4):
+                ours = shares.get((metric, fn, name, threads), 0.0)
+                row.append(f"{ours:.1f} ({paper[(name, threads)]})")
+        rows.append(tuple(row))
+    return render_table(
+        ["Metric", "Function", "2PV7 1T", "2PV7 4T", "promo 1T", "promo 4T"],
+        rows,
+        title=(
+            "Table IV: Function-level performance on the Server, "
+            "simulated (paper in parentheses)"
+        ),
+    )
+
+
+def main() -> None:
+    print(render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Table V: inference performance bottlenecks on the Server.
+
+Host-side event shares during GPU initialisation / XLA compilation:
+page faults in std::vector::_M_fill_insert, dTLB misses in
+xla::ShapeUtil::ByteSizeOf, LLC misses in copy_to_iter.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..core.report import render_table
+from ..core.runner import BenchmarkRunner
+from ..profiling.host_profile import profile_host_events
+from ._shared import ensure_runner
+
+#: Paper anchors: (event, function, sample) -> overhead %.
+PAPER_VALUES: Tuple[Tuple[str, str, str, int, float], ...] = (
+    ("Page Faults", "std::vector::_M_fill_insert", "2PV7", 484, 12.99),
+    ("Page Faults", "std::vector::_M_fill_insert", "promo", 857, 16.83),
+    ("dTLB Load Misses", "xla::ShapeUtil::ByteSizeOf", "2PV7", 484, 5.99),
+    ("dTLB Load Misses", "xla::ShapeUtil::ByteSizeOf", "promo", 857, 3.89),
+    ("LLC Load Misses", "copy_to_iter", "2PV7", 484, 6.90),
+    ("LLC Load Misses", "copy_to_iter", "6QNR", 1395, 5.80),
+)
+
+
+def collect(runner: BenchmarkRunner) -> Dict[str, Dict[str, float]]:
+    out: Dict[str, Dict[str, float]] = {}
+    for name, sample in runner.samples.items():
+        events = profile_host_events(sample.assembly.num_tokens)
+        out[name] = {
+            "Page Faults": 100.0 * events.page_fault_fill_insert,
+            "dTLB Load Misses": 100.0 * events.dtlb_byte_size_of,
+            "LLC Load Misses": 100.0 * events.llc_copy_to_iter,
+        }
+    return out
+
+
+def render(runner: Optional[BenchmarkRunner] = None) -> str:
+    runner = ensure_runner(runner)
+    rows = []
+    for event, function, sample_name, tokens, paper in PAPER_VALUES:
+        events = profile_host_events(tokens)
+        ours = {
+            "Page Faults": 100.0 * events.page_fault_fill_insert,
+            "dTLB Load Misses": 100.0 * events.dtlb_byte_size_of,
+            "LLC Load Misses": 100.0 * events.llc_copy_to_iter,
+        }[event]
+        rows.append(
+            (event, function, sample_name, f"{ours:.2f}% ({paper}%)")
+        )
+    return render_table(
+        ["Event Type", "Function/Symbol", "Sample", "Overhead"],
+        rows,
+        title=(
+            "Table V: Inference performance bottlenecks on the Server, "
+            "simulated (paper in parentheses)"
+        ),
+    )
+
+
+def main() -> None:
+    print(render())
+
+
+if __name__ == "__main__":
+    main()

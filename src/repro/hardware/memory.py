@@ -1,0 +1,87 @@
+"""CPU memory capacity model: DRAM, optional CXL expansion, OOM.
+
+AF3 performs no static memory validation (paper Section III-C): if a
+phase's peak requirement exceeds what the machine offers, the process
+dies — by OS OOM kill past DRAM+CXL, or by swap-free allocation
+failure.  This module models exactly that decision, plus the page
+cache left over for database caching.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+GIB = 1024 ** 3
+
+
+class MemoryOutcome(enum.Enum):
+    """How a phase's memory demand resolves on a machine."""
+
+    FITS_DRAM = "fits_dram"
+    FITS_WITH_CXL = "fits_with_cxl"    # needs the CXL expander (Fig 2)
+    OOM = "oom"                         # process killed
+
+
+@dataclasses.dataclass(frozen=True)
+class MemorySpec:
+    """Installed memory of one platform (paper Table I)."""
+
+    dram_bytes: int
+    cxl_bytes: int = 0
+    memory_type: str = "DDR5"
+
+    def __post_init__(self) -> None:
+        if self.dram_bytes <= 0 or self.cxl_bytes < 0:
+            raise ValueError("memory sizes must be non-negative (dram > 0)")
+
+    @property
+    def total_bytes(self) -> int:
+        return self.dram_bytes + self.cxl_bytes
+
+    def check(self, peak_bytes: float) -> MemoryOutcome:
+        """Classify a peak requirement against this machine."""
+        if peak_bytes < 0:
+            raise ValueError("peak_bytes must be >= 0")
+        # The OS and runtime reserve a slice of DRAM; ~6% is typical.
+        usable_dram = self.dram_bytes * 0.94
+        if peak_bytes <= usable_dram:
+            return MemoryOutcome.FITS_DRAM
+        if peak_bytes <= usable_dram + self.cxl_bytes:
+            return (
+                MemoryOutcome.FITS_WITH_CXL
+                if self.cxl_bytes
+                else MemoryOutcome.OOM
+            )
+        return MemoryOutcome.OOM
+
+    def page_cache_bytes(self, resident_bytes: float) -> float:
+        """DRAM left for the page cache given resident process memory."""
+        return max(0.0, self.dram_bytes * 0.94 - resident_bytes)
+
+    def with_upgrade(self, dram_bytes: int) -> "MemorySpec":
+        """The paper's Desktop DRAM upgrade (64 -> 128 GiB for 6QNR)."""
+        return dataclasses.replace(self, dram_bytes=dram_bytes)
+
+
+SERVER_MEMORY = MemorySpec(dram_bytes=512 * GIB, cxl_bytes=256 * GIB)
+DESKTOP_MEMORY = MemorySpec(dram_bytes=64 * GIB)
+DESKTOP_MEMORY_UPGRADED = DESKTOP_MEMORY.with_upgrade(128 * GIB)
+
+
+class OutOfMemoryError(RuntimeError):
+    """Raised when a simulated phase exceeds platform memory.
+
+    Mirrors the real failure mode: AF3 gives no early warning, the
+    process is simply killed mid-phase.
+    """
+
+    def __init__(self, phase: str, peak_bytes: float, spec: MemorySpec) -> None:
+        self.phase = phase
+        self.peak_bytes = peak_bytes
+        self.spec = spec
+        super().__init__(
+            f"{phase}: peak {peak_bytes / GIB:.1f} GiB exceeds "
+            f"{spec.total_bytes / GIB:.0f} GiB "
+            f"({spec.dram_bytes / GIB:.0f} DRAM + {spec.cxl_bytes / GIB:.0f} CXL)"
+        )

@@ -1,0 +1,101 @@
+"""Platform compositions: the paper's Server and Desktop (Table I)."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+from .cpu import CpuSpec, RYZEN_7900X, XEON_5416S
+from .gpu import GpuSpec, H100, RTX_4080
+from .memory import (
+    DESKTOP_MEMORY,
+    DESKTOP_MEMORY_UPGRADED,
+    MemorySpec,
+    SERVER_MEMORY,
+)
+from .storage import NVME_PCIE4, StorageSpec
+
+GIB = 1024 ** 3
+
+
+@dataclasses.dataclass(frozen=True)
+class Platform:
+    """One complete machine the suite benchmarks against."""
+
+    name: str
+    cpu: CpuSpec
+    memory: MemorySpec
+    storage: StorageSpec
+    gpu: GpuSpec
+    #: Per-extra-thread slowdown of host-side inference phases
+    #: (allocator/NUMA contention; Fig 6 shows it on the Server).
+    inference_thread_penalty: float = 0.0
+
+    @property
+    def host_single_thread_ips(self) -> float:
+        """Single-thread instruction rate for host-bound GPU phases."""
+        co = self.cpu.coeffs
+        # Light host code: base CPI plus a small stall allowance.
+        return self.cpu.clock_hz(1) / (co.base_cpi + 0.03)
+
+    def table_row(self) -> Dict[str, str]:
+        """A Table I style description row."""
+        return {
+            "Configuration": self.name,
+            "CPU": self.cpu.name,
+            "Core/Thread": f"{self.cpu.cores}/{self.cpu.threads}",
+            "Base Clock": f"{self.cpu.base_clock_ghz}GHz",
+            "Max Clock": f"{self.cpu.max_clock_ghz}GHz",
+            "Last Level Cache": f"{self.cpu.llc_bytes // (1024 * 1024)} MB shared",
+            "Memory Size": f"{self.memory.dram_bytes // GIB} GiB",
+            "Mem. Expander": (
+                f"CXL ({self.memory.cxl_bytes // GIB} GiB)"
+                if self.memory.cxl_bytes else "-"
+            ),
+            "GPU": self.gpu.name,
+            "Storage": self.storage.name,
+        }
+
+    def with_memory(
+        self, memory: MemorySpec, name: Optional[str] = None
+    ) -> "Platform":
+        return dataclasses.replace(
+            self, memory=memory, name=name or self.name
+        )
+
+
+SERVER = Platform(
+    name="Server",
+    cpu=XEON_5416S,
+    memory=SERVER_MEMORY,
+    storage=NVME_PCIE4,
+    gpu=H100,
+    inference_thread_penalty=0.02,
+)
+
+DESKTOP = Platform(
+    name="Desktop",
+    cpu=RYZEN_7900X,
+    memory=DESKTOP_MEMORY,
+    storage=NVME_PCIE4,
+    gpu=RTX_4080,
+    inference_thread_penalty=0.003,
+)
+
+#: The paper's 6QNR configuration: Desktop upgraded to 128 GiB DRAM
+#: after the default 64 GiB OOM-killed the RNA MSA stage.
+DESKTOP_128G = DESKTOP.with_memory(DESKTOP_MEMORY_UPGRADED, name="Desktop-128G")
+
+PLATFORMS: Dict[str, Platform] = {
+    "Server": SERVER,
+    "Desktop": DESKTOP,
+    "Desktop-128G": DESKTOP_128G,
+}
+
+
+def get_platform(name: str) -> Platform:
+    """Look up a platform preset by (case-insensitive) name."""
+    for key, platform in PLATFORMS.items():
+        if key.lower() == name.lower():
+            return platform
+    raise KeyError(f"unknown platform {name!r}; available: {', '.join(PLATFORMS)}")

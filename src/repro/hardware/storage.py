@@ -1,0 +1,117 @@
+"""Storage model: NVMe streaming, page-cache hits, iostat-style metrics.
+
+The paper's Section V-B2c contrasts the Server (512 GiB DRAM keeps the
+databases cache-resident; NVMe utilisation under ~20 %) with the
+Desktop (64 GiB cannot hold them; the SSD runs at 100 % utilisation
+during peak phases while read latency stays at 0.1-0.2 ms).  The model
+here reproduces that: a database pass reads from disk only when the
+page cache cannot retain it, and utilisation is the busy fraction of
+the I/O portion of the phase.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+GIB = 1024 ** 3
+
+
+@dataclasses.dataclass(frozen=True)
+class StorageSpec:
+    """One NVMe device (paper Table I: PCIe 4.0 SSD on both systems)."""
+
+    name: str = "PCIe 4.0 NVMe SSD"
+    sequential_read_gbps: float = 7.0
+    #: Sustained rate HMMER's synchronous buffered FASTA scan actually
+    #: achieves (QD1, 256 KiB reads interleaved with parsing).
+    reader_limited_gbps: float = 0.55
+    base_latency_ms: float = 0.08
+
+
+@dataclasses.dataclass(frozen=True)
+class IostatReport:
+    """What `iostat -x` would show over one MSA phase."""
+
+    disk_bytes_read: float
+    phase_seconds: float
+    io_seconds: float
+    utilization: float        # busy fraction during I/O windows, 0-1
+    r_await_ms: float
+    read_mbps: float
+
+    @property
+    def is_io_bound(self) -> bool:
+        return self.utilization >= 0.95
+
+
+@dataclasses.dataclass(frozen=True)
+class PageCacheModel:
+    """Tracks which database passes hit DRAM instead of disk."""
+
+    page_cache_bytes: float
+
+    def cold_bytes(
+        self,
+        database_bytes: Sequence[float],
+        passes_per_database: Sequence[int],
+        warm_start: bool = True,
+    ) -> float:
+        """Disk bytes read across all passes of each database.
+
+        A database that fits the page cache is served from DRAM
+        (``warm_start`` models the paper's steady-state methodology:
+        five averaged runs, databases already resident from earlier
+        runs — read once from disk on a cold start).  One that does
+        not fit is re-read from disk on every pass.  A small residual
+        (~1 %) covers logs, temp files and container metadata.
+        """
+        if len(database_bytes) != len(passes_per_database):
+            raise ValueError("parallel lists required")
+        total = 0.0
+        for size, passes in zip(database_bytes, passes_per_database):
+            if passes <= 0:
+                continue
+            if size <= self.page_cache_bytes:
+                total += 0.0 if warm_start else size
+            else:
+                total += size * passes
+            total += 0.01 * size * passes  # auxiliary I/O
+        return total
+
+
+def simulate_iostat(
+    spec: StorageSpec,
+    disk_bytes: float,
+    phase_seconds: float,
+    io_fraction: float = 0.35,
+) -> IostatReport:
+    """Produce iostat-style metrics for one phase.
+
+    ``io_fraction`` is the share of the phase during which the reader
+    stack is actively streaming (the I/O functions' cycle share).
+    Utilisation is measured against the reader-limited rate: a desktop
+    whose cold reads must all happen inside those windows saturates the
+    device even though raw NVMe bandwidth is far higher.
+    """
+    if phase_seconds <= 0:
+        raise ValueError("phase_seconds must be positive")
+    if not 0.0 < io_fraction <= 1.0:
+        raise ValueError("io_fraction must be in (0, 1]")
+    io_seconds = phase_seconds * io_fraction
+    capacity = io_seconds * spec.reader_limited_gbps * 1e9
+    utilization = min(1.0, disk_bytes / capacity) if capacity else 0.0
+    # Latency rises mildly with queue pressure but stays low — the
+    # device itself is never the bottleneck (paper: 0.1-0.2 ms).
+    r_await = spec.base_latency_ms * (1.0 + 1.4 * utilization)
+    return IostatReport(
+        disk_bytes_read=disk_bytes,
+        phase_seconds=phase_seconds,
+        io_seconds=io_seconds,
+        utilization=utilization,
+        r_await_ms=r_await,
+        read_mbps=disk_bytes / phase_seconds / 1e6,
+    )
+
+
+NVME_PCIE4 = StorageSpec()

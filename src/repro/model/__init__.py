@@ -1,0 +1,91 @@
+"""AF3 network substrate: numpy implementation + analytic cost model."""
+
+from .attention import MultiHeadAttention, merge_heads, split_heads
+from .config import ModelConfig
+from .diffusion import (
+    DenoiseStepResult,
+    DiffusionModule,
+    DiffusionTransformerBlock,
+    LocalAttention,
+    noise_schedule,
+)
+from .embedding import (
+    InputEmbedder,
+    MsaModule,
+    NUM_TOKEN_CLASSES,
+    OuterProductMean,
+    relative_position_encoding,
+)
+from .flops import (
+    ScopeCost,
+    diffusion_step_costs,
+    embedder_costs,
+    head_costs,
+    inference_costs,
+    local_attention_cost,
+    msa_module_costs,
+    pairformer_block_costs,
+    peak_activation_bytes,
+    single_attention_cost,
+    total_bytes,
+    total_flops,
+    transition_cost,
+    triangle_attention_cost,
+    triangle_multiplication_cost,
+)
+from .heads import Confidence, ConfidenceHead, DistogramHead
+from .network import AlphaFold3Model, Prediction
+from .ops import LayerCost, OpCounter, layer_norm, linear, matmul, softmax
+from .pairformer import Pairformer, PairformerBlock, Transition
+from .pdb import parse_pdb_atoms, write_pdb
+from .triangle import TriangleAttention, TriangleMultiplication
+
+__all__ = [
+    "AlphaFold3Model",
+    "Confidence",
+    "ConfidenceHead",
+    "DenoiseStepResult",
+    "DiffusionModule",
+    "DiffusionTransformerBlock",
+    "DistogramHead",
+    "InputEmbedder",
+    "LayerCost",
+    "LocalAttention",
+    "ModelConfig",
+    "MsaModule",
+    "MultiHeadAttention",
+    "NUM_TOKEN_CLASSES",
+    "OpCounter",
+    "OuterProductMean",
+    "Pairformer",
+    "PairformerBlock",
+    "Prediction",
+    "ScopeCost",
+    "Transition",
+    "TriangleAttention",
+    "TriangleMultiplication",
+    "diffusion_step_costs",
+    "embedder_costs",
+    "head_costs",
+    "inference_costs",
+    "layer_norm",
+    "linear",
+    "local_attention_cost",
+    "matmul",
+    "merge_heads",
+    "msa_module_costs",
+    "noise_schedule",
+    "pairformer_block_costs",
+    "peak_activation_bytes",
+    "relative_position_encoding",
+    "single_attention_cost",
+    "softmax",
+    "split_heads",
+    "total_bytes",
+    "total_flops",
+    "transition_cost",
+    "triangle_attention_cost",
+    "triangle_multiplication_cost",
+    "parse_pdb_atoms",
+    "write_pdb",
+]

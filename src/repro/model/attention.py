@@ -1,0 +1,81 @@
+"""Attention primitives used across Pairformer and Diffusion modules."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from .ops import OpCounter, init_linear, linear, matmul, sigmoid, softmax
+
+
+def split_heads(x: np.ndarray, num_heads: int) -> np.ndarray:
+    """``(..., L, H*D) -> (..., H, L, D)``."""
+    *batch, length, channels = x.shape
+    if channels % num_heads:
+        raise ValueError("channels must divide evenly into heads")
+    head_dim = channels // num_heads
+    x = x.reshape(*batch, length, num_heads, head_dim)
+    return np.moveaxis(x, -2, -3)
+
+
+def merge_heads(x: np.ndarray) -> np.ndarray:
+    """``(..., H, L, D) -> (..., L, H*D)``."""
+    x = np.moveaxis(x, -3, -2)
+    *batch, length, num_heads, head_dim = x.shape
+    return x.reshape(*batch, length, num_heads * head_dim)
+
+
+class MultiHeadAttention:
+    """Gated multi-head attention with optional additive logit bias.
+
+    This is the shared engine behind triangle attention (bias = the
+    third pair edge), single attention with pair bias, and the
+    diffusion transformer's global attention.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        channels: int,
+        num_heads: int,
+        out_channels: Optional[int] = None,
+    ) -> None:
+        if channels % num_heads:
+            raise ValueError("channels must be divisible by num_heads")
+        self.channels = channels
+        self.num_heads = num_heads
+        self.head_dim = channels // num_heads
+        out_channels = out_channels or channels
+        self.params: Dict[str, Dict[str, np.ndarray]] = {
+            "q": init_linear(rng, channels, channels),
+            "k": init_linear(rng, channels, channels),
+            "v": init_linear(rng, channels, channels),
+            "gate": init_linear(rng, channels, channels),
+            "out": init_linear(rng, channels, out_channels),
+        }
+
+    def __call__(
+        self,
+        x_q: np.ndarray,
+        x_kv: Optional[np.ndarray] = None,
+        bias: Optional[np.ndarray] = None,
+        counter: Optional[OpCounter] = None,
+    ) -> np.ndarray:
+        """Attention over the second-to-last axis.
+
+        ``x_q``: (..., Lq, C); ``x_kv``: (..., Lk, C) (defaults to
+        ``x_q``); ``bias``: broadcastable to (..., H, Lq, Lk).
+        """
+        x_kv = x_q if x_kv is None else x_kv
+        q = split_heads(linear(x_q, self.params["q"], counter), self.num_heads)
+        k = split_heads(linear(x_kv, self.params["k"], counter), self.num_heads)
+        v = split_heads(linear(x_kv, self.params["v"], counter), self.num_heads)
+        logits = matmul(q, np.swapaxes(k, -1, -2), counter) / np.sqrt(self.head_dim)
+        if bias is not None:
+            logits = logits + bias
+        weights = softmax(logits, axis=-1, counter=counter)
+        context = matmul(weights, v, counter)
+        merged = merge_heads(context)
+        gate = sigmoid(linear(x_q, self.params["gate"], counter), counter)
+        return linear(merged * gate, self.params["out"], counter)

@@ -1,0 +1,82 @@
+"""Model hyperparameters.
+
+Two presets matter:
+
+* :func:`ModelConfig.af3` — the published AlphaFold3 dimensions
+  (48 Pairformer blocks, 128-dim pair channels, ...).  Used by the
+  analytic cost formulas that drive the inference timing model.
+* :func:`ModelConfig.tiny` — a shrunken configuration the numpy
+  implementation actually runs; tests validate the analytic formulas
+  against op counts measured at this size.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class ModelConfig:
+    """Dimensions and depths of the AF3-style network."""
+
+    c_pair: int = 128           # pair representation channels
+    c_single: int = 384         # single (token) representation channels
+    c_msa: int = 64             # MSA representation channels
+    c_atom: int = 128           # atom-level channels in the diffusion module
+    c_tri: int = 128            # triangle-update hidden channels
+    num_heads: int = 16         # attention heads (pair + token level)
+    num_pairformer_blocks: int = 48
+    num_msa_blocks: int = 4
+    num_diffusion_steps: int = 16   # paper: 8-16 denoising iterations
+    num_diffusion_transformer_blocks: int = 24
+    num_atom_encoder_blocks: int = 3
+    num_atom_decoder_blocks: int = 3
+    atoms_per_token: int = 8    # mean heavy atoms per residue token
+    local_attn_window: int = 32     # queries per sequence-local block
+    local_attn_keys: int = 128      # keys visible to each local block
+    msa_depth_cap: int = 512    # max MSA rows fed to the MSA module
+
+    def __post_init__(self) -> None:
+        if self.c_pair % 1 or self.c_pair <= 0:
+            raise ValueError("c_pair must be a positive integer")
+        for field in dataclasses.fields(self):
+            if getattr(self, field.name) <= 0:
+                raise ValueError(f"{field.name} must be positive")
+        if self.c_pair % self.num_heads and self.c_pair >= self.num_heads:
+            # Heads must divide channel dims for clean head splitting.
+            raise ValueError("num_heads must divide c_pair")
+
+    @classmethod
+    def af3(cls) -> "ModelConfig":
+        """Published AlphaFold3 dimensions."""
+        return cls()
+
+    @classmethod
+    def tiny(cls) -> "ModelConfig":
+        """Small config the numpy network runs quickly at test time."""
+        return cls(
+            c_pair=16,
+            c_single=24,
+            c_msa=8,
+            c_atom=16,
+            c_tri=16,
+            num_heads=4,
+            num_pairformer_blocks=2,
+            num_msa_blocks=1,
+            num_diffusion_steps=2,
+            num_diffusion_transformer_blocks=2,
+            num_atom_encoder_blocks=1,
+            num_atom_decoder_blocks=1,
+            atoms_per_token=4,
+            local_attn_window=8,
+            local_attn_keys=16,
+            msa_depth_cap=8,
+        )
+
+    def head_dim(self, channels: int) -> int:
+        if channels % self.num_heads:
+            raise ValueError(f"{channels} channels not divisible by heads")
+        return channels // self.num_heads
+
+    def num_atoms(self, num_tokens: int) -> int:
+        return num_tokens * self.atoms_per_token

@@ -1,0 +1,173 @@
+"""Input embedder and the (slimmed-down) AF3 MSA module.
+
+AF3 keeps a small MSA module (4 blocks) whose job is to inject MSA
+statistics into the pair representation via an outer-product mean —
+a shadow of AF2's deep Evoformer/MSA stack.  After it runs, the MSA
+representation is discarded and the trunk works on single + pair only.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from .config import ModelConfig
+from .ops import OpCounter, init_linear, layer_norm, linear, relu, softmax
+
+
+def _ln(rng: np.random.Generator, dim: int) -> Dict[str, np.ndarray]:
+    return {
+        "gamma": np.ones(dim, dtype=np.float32),
+        "beta": np.zeros(dim, dtype=np.float32),
+    }
+
+
+#: Number of residue/token classes the embedder accepts (matches
+#: repro.msa.features.FEATURE_DIM: 20 aa + U + gap + X).
+NUM_TOKEN_CLASSES = 23
+
+#: Relative-position clip distance (AF-style relpos encoding).
+RELPOS_CLIP = 32
+
+
+def relative_position_encoding(num_tokens: int) -> np.ndarray:
+    """One-hot clipped relative offsets, shape (N, N, 2*CLIP+2)."""
+    offsets = np.arange(num_tokens)[:, None] - np.arange(num_tokens)[None, :]
+    clipped = np.clip(offsets, -RELPOS_CLIP, RELPOS_CLIP) + RELPOS_CLIP
+    num_bins = 2 * RELPOS_CLIP + 2
+    out = np.zeros((num_tokens, num_tokens, num_bins), dtype=np.float32)
+    rows = np.arange(num_tokens)[:, None]
+    cols = np.arange(num_tokens)[None, :]
+    out[rows, cols, clipped] = 1.0
+    return out
+
+
+class InputEmbedder:
+    """Token classes + MSA profile -> initial single/pair representations."""
+
+    def __init__(self, rng: np.random.Generator, config: ModelConfig) -> None:
+        self.config = config
+        num_bins = 2 * RELPOS_CLIP + 2
+        self.token_embed = init_linear(rng, NUM_TOKEN_CLASSES, config.c_single)
+        self.profile_embed = init_linear(rng, NUM_TOKEN_CLASSES, config.c_single)
+        self.relpos_proj = init_linear(rng, num_bins, config.c_pair)
+        self.left_proj = init_linear(rng, config.c_single, config.c_pair)
+        self.right_proj = init_linear(rng, config.c_single, config.c_pair)
+
+    def __call__(
+        self,
+        token_classes: np.ndarray,
+        profile: Optional[np.ndarray] = None,
+        counter: Optional[OpCounter] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Returns (single (N, c_single), pair (N, N, c_pair))."""
+        counter = counter or OpCounter()
+        n = token_classes.shape[0]
+        onehot = np.zeros((n, NUM_TOKEN_CLASSES), dtype=np.float32)
+        onehot[np.arange(n), token_classes] = 1.0
+        with counter.scope("embedder.single"):
+            single = linear(onehot, self.token_embed, counter)
+            if profile is not None:
+                single = single + linear(
+                    profile.astype(np.float32), self.profile_embed, counter
+                )
+        with counter.scope("embedder.pair"):
+            relpos = relative_position_encoding(n)
+            pair = linear(relpos, self.relpos_proj, counter)
+            left = linear(single, self.left_proj, counter)
+            right = linear(single, self.right_proj, counter)
+            pair = pair + left[:, None, :] + right[None, :, :]
+        return single, pair
+
+
+class OuterProductMean:
+    """MSA -> pair update: mean over rows of per-column outer products."""
+
+    def __init__(self, rng: np.random.Generator, c_msa: int, c_pair: int,
+                 c_hidden: int = 8) -> None:
+        self.c_hidden = c_hidden
+        self.norm = _ln(rng, c_msa)
+        self.proj_a = init_linear(rng, c_msa, c_hidden)
+        self.proj_b = init_linear(rng, c_msa, c_hidden)
+        self.out = init_linear(rng, c_hidden * c_hidden, c_pair)
+
+    def __call__(
+        self, msa: np.ndarray, counter: Optional[OpCounter] = None
+    ) -> np.ndarray:
+        """``msa`` is (M, N, c_msa); returns a (N, N, c_pair) update."""
+        counter = counter or OpCounter()
+        mn = layer_norm(msa, self.norm["gamma"], self.norm["beta"], counter)
+        a = linear(mn, self.proj_a, counter)     # (M, N, h)
+        b = linear(mn, self.proj_b, counter)
+        m, n, h = a.shape
+        outer = np.einsum("mia,mjb->ijab", a, b) / m
+        counter.record(
+            flops=2.0 * m * n * n * h * h,
+            bytes_read=float(a.nbytes + b.nbytes),
+            bytes_written=float(outer.nbytes),
+            activations_bytes=float(outer.nbytes),
+        )
+        return linear(outer.reshape(n, n, h * h).astype(np.float32), self.out, counter)
+
+
+class MsaModuleBlock:
+    """One MSA-module block: outer product mean + row update."""
+
+    def __init__(self, rng: np.random.Generator, config: ModelConfig) -> None:
+        self.opm = OuterProductMean(rng, config.c_msa, config.c_pair)
+        self.row_norm = _ln(rng, config.c_msa)
+        self.pair_gate = init_linear(rng, config.c_pair, config.c_msa)
+        self.row_fc = init_linear(rng, config.c_msa, config.c_msa)
+
+    def __call__(
+        self,
+        msa: np.ndarray,
+        pair: np.ndarray,
+        counter: Optional[OpCounter] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        counter = counter or OpCounter()
+        with counter.scope("msa_module.outer_product_mean"):
+            pair = pair + self.opm(msa, counter)
+        with counter.scope("msa_module.pair_weighted_row_update"):
+            mn = layer_norm(msa, self.row_norm["gamma"], self.row_norm["beta"], counter)
+            # Pair-weighted averaging: each MSA row column i mixes
+            # columns j with softmax weights from the pair rep.
+            weights = softmax(pair.mean(axis=-1), axis=-1, counter=counter)  # (N, N)
+            mixed = np.einsum("ij,mjc->mic", weights, mn)
+            counter.record(
+                flops=2.0 * msa.shape[0] * weights.size * msa.shape[-1],
+                bytes_read=float(weights.nbytes + mn.nbytes),
+                bytes_written=float(mixed.nbytes),
+            )
+            gate = linear(pair.mean(axis=1), self.pair_gate, counter)  # (N, c_msa)
+            msa = msa + relu(linear(mixed, self.row_fc, counter), counter) * gate
+        return msa, pair
+
+
+class MsaModule:
+    """AF3's small MSA stack: embed rows, run a few blocks, discard MSA."""
+
+    def __init__(self, rng: np.random.Generator, config: ModelConfig) -> None:
+        self.config = config
+        self.row_embed = init_linear(rng, NUM_TOKEN_CLASSES, config.c_msa)
+        self.blocks = [
+            MsaModuleBlock(rng, config) for _ in range(config.num_msa_blocks)
+        ]
+
+    def __call__(
+        self,
+        msa_onehot: np.ndarray,
+        pair: np.ndarray,
+        counter: Optional[OpCounter] = None,
+    ) -> np.ndarray:
+        """``msa_onehot`` is (M, N, NUM_TOKEN_CLASSES); returns new pair."""
+        counter = counter or OpCounter()
+        depth = min(msa_onehot.shape[0], self.config.msa_depth_cap)
+        with counter.scope("msa_module.row_embed"):
+            msa = linear(
+                msa_onehot[:depth].astype(np.float32), self.row_embed, counter
+            )
+        for block in self.blocks:
+            msa, pair = block(msa, pair, counter)
+        return pair

@@ -1,0 +1,215 @@
+"""Numpy network primitives with operation counting.
+
+Every layer in the model substrate funnels its math through these
+primitives, which record FLOPs and byte traffic into an
+:class:`OpCounter`.  The counters are the ground truth the analytic
+cost formulas in :mod:`repro.model.flops` are validated against: the
+same layer run functionally at small dimensions must count exactly what
+the formula predicts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import OrderedDict
+from typing import Dict, Optional
+
+import numpy as np
+
+
+@dataclasses.dataclass
+class LayerCost:
+    """Accumulated cost of one named layer."""
+
+    flops: float = 0.0
+    bytes_read: float = 0.0
+    bytes_written: float = 0.0
+    activations_bytes: float = 0.0
+    invocations: int = 0
+
+    def add(self, other: "LayerCost") -> None:
+        self.flops += other.flops
+        self.bytes_read += other.bytes_read
+        self.bytes_written += other.bytes_written
+        self.activations_bytes = max(self.activations_bytes, other.activations_bytes)
+        self.invocations += other.invocations
+
+
+class OpCounter:
+    """Per-layer FLOP/byte accounting, grouped by a name stack.
+
+    Layers push their name (``counter.scope("pairformer.triangle_attn")``)
+    and the primitives attribute costs to the innermost scope.
+    """
+
+    def __init__(self) -> None:
+        self._costs: "OrderedDict[str, LayerCost]" = OrderedDict()
+        self._stack: list = []
+
+    def scope(self, name: str) -> "_Scope":
+        return _Scope(self, name)
+
+    @property
+    def current(self) -> str:
+        return self._stack[-1] if self._stack else "unscoped"
+
+    def record(
+        self,
+        flops: float = 0.0,
+        bytes_read: float = 0.0,
+        bytes_written: float = 0.0,
+        activations_bytes: float = 0.0,
+    ) -> None:
+        name = self.current
+        cost = self._costs.setdefault(name, LayerCost())
+        cost.flops += flops
+        cost.bytes_read += bytes_read
+        cost.bytes_written += bytes_written
+        cost.activations_bytes = max(cost.activations_bytes, activations_bytes)
+
+    def begin_invocation(self) -> None:
+        cost = self._costs.setdefault(self.current, LayerCost())
+        cost.invocations += 1
+
+    @property
+    def costs(self) -> Dict[str, LayerCost]:
+        return dict(self._costs)
+
+    def total_flops(self) -> float:
+        return sum(c.flops for c in self._costs.values())
+
+    def total_bytes(self) -> float:
+        return sum(c.bytes_read + c.bytes_written for c in self._costs.values())
+
+    def flops_by_prefix(self, prefix: str) -> float:
+        return sum(
+            c.flops for name, c in self._costs.items() if name.startswith(prefix)
+        )
+
+
+class _Scope:
+    def __init__(self, counter: OpCounter, name: str) -> None:
+        self.counter = counter
+        self.name = name
+
+    def __enter__(self) -> OpCounter:
+        self.counter._stack.append(self.name)
+        self.counter.begin_invocation()
+        return self.counter
+
+    def __exit__(self, *exc) -> None:
+        self.counter._stack.pop()
+
+
+_NULL_COUNTER = OpCounter()
+
+
+def _nbytes(*arrays: np.ndarray) -> float:
+    return float(sum(a.nbytes for a in arrays))
+
+
+def init_linear(
+    rng: np.random.Generator, in_dim: int, out_dim: int, scale: Optional[float] = None
+) -> Dict[str, np.ndarray]:
+    """He-style initialised linear weights ``{"w": (in,out), "b": (out,)}``."""
+    scale = scale if scale is not None else (2.0 / in_dim) ** 0.5
+    return {
+        "w": rng.normal(0.0, scale, size=(in_dim, out_dim)).astype(np.float32),
+        "b": np.zeros(out_dim, dtype=np.float32),
+    }
+
+
+def linear(
+    x: np.ndarray, params: Dict[str, np.ndarray], counter: Optional[OpCounter] = None
+) -> np.ndarray:
+    """Affine map over the trailing axis, with cost recording."""
+    w, b = params["w"], params["b"]
+    if x.shape[-1] != w.shape[0]:
+        raise ValueError(f"linear: input dim {x.shape[-1]} != weight dim {w.shape[0]}")
+    out = x @ w + b
+    counter = counter or _NULL_COUNTER
+    batch = x.size / x.shape[-1]
+    counter.record(
+        flops=2.0 * batch * w.shape[0] * w.shape[1],
+        bytes_read=_nbytes(x, w, b),
+        bytes_written=float(out.nbytes),
+        activations_bytes=float(out.nbytes),
+    )
+    return out
+
+
+def layer_norm(
+    x: np.ndarray,
+    gamma: np.ndarray,
+    beta: np.ndarray,
+    counter: Optional[OpCounter] = None,
+    eps: float = 1e-5,
+) -> np.ndarray:
+    """LayerNorm over the trailing axis."""
+    mean = x.mean(axis=-1, keepdims=True)
+    var = x.var(axis=-1, keepdims=True)
+    out = (x - mean) / np.sqrt(var + eps) * gamma + beta
+    counter = counter or _NULL_COUNTER
+    counter.record(
+        flops=8.0 * x.size,
+        bytes_read=_nbytes(x, gamma, beta),
+        bytes_written=float(out.nbytes),
+        activations_bytes=float(out.nbytes),
+    )
+    return out.astype(x.dtype)
+
+
+def softmax(
+    x: np.ndarray, axis: int = -1, counter: Optional[OpCounter] = None
+) -> np.ndarray:
+    """Numerically stable softmax with cost recording."""
+    shifted = x - x.max(axis=axis, keepdims=True)
+    ex = np.exp(shifted)
+    out = ex / ex.sum(axis=axis, keepdims=True)
+    counter = counter or _NULL_COUNTER
+    counter.record(
+        flops=5.0 * x.size,
+        bytes_read=float(x.nbytes),
+        bytes_written=float(out.nbytes),
+        activations_bytes=float(out.nbytes),
+    )
+    return out
+
+
+def sigmoid(x: np.ndarray, counter: Optional[OpCounter] = None) -> np.ndarray:
+    out = 1.0 / (1.0 + np.exp(-x))
+    (counter or _NULL_COUNTER).record(
+        flops=4.0 * x.size, bytes_read=float(x.nbytes), bytes_written=float(out.nbytes)
+    )
+    return out
+
+
+def relu(x: np.ndarray, counter: Optional[OpCounter] = None) -> np.ndarray:
+    out = np.maximum(x, 0.0)
+    (counter or _NULL_COUNTER).record(
+        flops=1.0 * x.size, bytes_read=float(x.nbytes), bytes_written=float(out.nbytes)
+    )
+    return out
+
+
+def swish(x: np.ndarray, counter: Optional[OpCounter] = None) -> np.ndarray:
+    out = x / (1.0 + np.exp(-x))
+    (counter or _NULL_COUNTER).record(
+        flops=5.0 * x.size, bytes_read=float(x.nbytes), bytes_written=float(out.nbytes)
+    )
+    return out
+
+
+def matmul(
+    a: np.ndarray, b: np.ndarray, counter: Optional[OpCounter] = None
+) -> np.ndarray:
+    """Batched matmul with 2*m*n*k FLOP accounting."""
+    out = a @ b
+    k = a.shape[-1]
+    (counter or _NULL_COUNTER).record(
+        flops=2.0 * out.size * k,
+        bytes_read=_nbytes(a, b),
+        bytes_written=float(out.nbytes),
+        activations_bytes=float(out.nbytes),
+    )
+    return out

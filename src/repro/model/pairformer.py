@@ -1,0 +1,116 @@
+"""The Pairformer stack (AF3's replacement for AF2's Evoformer).
+
+Each block updates the pair representation with four triangle layers
+(multiplicative outgoing/incoming, attention starting/ending) plus a
+transition MLP, then updates the single representation with
+pair-biased attention and its own transition — exactly the layer mix
+whose runtime shares the paper breaks down in Figure 9 / Table VI.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from .attention import MultiHeadAttention
+from .config import ModelConfig
+from .ops import OpCounter, init_linear, layer_norm, linear, relu
+from .triangle import TriangleAttention, TriangleMultiplication
+
+
+def _ln(rng: np.random.Generator, dim: int) -> Dict[str, np.ndarray]:
+    return {
+        "gamma": np.ones(dim, dtype=np.float32),
+        "beta": np.zeros(dim, dtype=np.float32),
+    }
+
+
+class Transition:
+    """Two-layer MLP with 4x expansion (the 'transition' blocks)."""
+
+    def __init__(self, rng: np.random.Generator, channels: int, factor: int = 4):
+        self.norm = _ln(rng, channels)
+        self.fc1 = init_linear(rng, channels, channels * factor)
+        self.fc2 = init_linear(rng, channels * factor, channels)
+
+    def __call__(
+        self, x: np.ndarray, counter: Optional[OpCounter] = None
+    ) -> np.ndarray:
+        xn = layer_norm(x, self.norm["gamma"], self.norm["beta"], counter)
+        return linear(relu(linear(xn, self.fc1, counter), counter), self.fc2, counter)
+
+
+class PairformerBlock:
+    """One of the 48 Pairformer blocks."""
+
+    def __init__(self, rng: np.random.Generator, config: ModelConfig) -> None:
+        self.config = config
+        c = config.c_pair
+        self.tri_mult_out = TriangleMultiplication(rng, c, config.c_tri, outgoing=True)
+        self.tri_mult_in = TriangleMultiplication(rng, c, config.c_tri, outgoing=False)
+        self.tri_attn_start = TriangleAttention(rng, c, config.num_heads, starting=True)
+        self.tri_attn_end = TriangleAttention(rng, c, config.num_heads, starting=False)
+        self.pair_transition = Transition(rng, c)
+        self.single_norm = _ln(rng, config.c_single)
+        self.single_attention = MultiHeadAttention(
+            rng, config.c_single, config.num_heads
+        )
+        self.pair_bias = init_linear(rng, c, config.num_heads)
+        self.single_transition = Transition(rng, config.c_single)
+
+    def __call__(
+        self,
+        single: np.ndarray,
+        pair: np.ndarray,
+        counter: Optional[OpCounter] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Residual-update both representations; returns (single, pair)."""
+        counter = counter or OpCounter()
+        with counter.scope("pairformer.triangle_mult_outgoing"):
+            pair = pair + self.tri_mult_out(pair, counter)
+        with counter.scope("pairformer.triangle_mult_incoming"):
+            pair = pair + self.tri_mult_in(pair, counter)
+        with counter.scope("pairformer.triangle_attention_starting"):
+            pair = pair + self.tri_attn_start(pair, counter)
+        with counter.scope("pairformer.triangle_attention_ending"):
+            pair = pair + self.tri_attn_end(pair, counter)
+        with counter.scope("pairformer.pair_transition"):
+            pair = pair + self.pair_transition(pair, counter)
+        with counter.scope("pairformer.single_attention"):
+            sn = layer_norm(
+                single, self.single_norm["gamma"], self.single_norm["beta"], counter
+            )
+            bias = linear(pair, self.pair_bias, counter)       # (N, N, H)
+            bias = np.moveaxis(bias, -1, 0)                    # (H, N, N)
+            single = single + self.single_attention(sn, bias=bias, counter=counter)
+        with counter.scope("pairformer.single_transition"):
+            single = single + self.single_transition(single, counter)
+        return single, pair
+
+
+class Pairformer:
+    """The full Pairformer stack."""
+
+    def __init__(
+        self, rng: np.random.Generator, config: ModelConfig,
+        num_blocks: Optional[int] = None,
+    ) -> None:
+        self.config = config
+        self.num_blocks = num_blocks or config.num_pairformer_blocks
+        self.blocks = [PairformerBlock(rng, config) for _ in range(self.num_blocks)]
+
+    def __call__(
+        self,
+        single: np.ndarray,
+        pair: np.ndarray,
+        counter: Optional[OpCounter] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        n = pair.shape[0]
+        if single.shape != (n, self.config.c_single):
+            raise ValueError("single representation shape mismatch")
+        if pair.shape != (n, n, self.config.c_pair):
+            raise ValueError("pair representation shape mismatch")
+        for block in self.blocks:
+            single, pair = block(single, pair, counter)
+        return single, pair

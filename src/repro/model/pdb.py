@@ -1,0 +1,114 @@
+"""PDB-format output for predicted structures.
+
+AF3 emits mmCIF; for a dependency-free reproduction the legacy PDB
+format is the practical choice — every viewer reads it.  Atoms are
+written as CA-style pseudo-atoms, ``atoms_per_token`` per residue, with
+per-atom B-factors carrying the residue's pLDDT (the AF convention).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..sequences.chain import Assembly
+from .config import ModelConfig
+from .network import Prediction
+
+#: Pseudo-atom names cycled within one residue (up to atoms_per_token).
+ATOM_NAMES = ("N", "CA", "C", "O", "CB", "CG", "CD", "CE", "CZ", "NZ",
+              "OG", "OD1", "ND2", "OE1")
+
+
+def write_pdb(
+    prediction: Prediction,
+    assembly: Assembly,
+    config: Optional[ModelConfig] = None,
+) -> str:
+    """Render a prediction as PDB text.
+
+    Chain identifiers, residue numbering and one-letter residue names
+    come from the assembly; coordinates and pLDDT from the prediction.
+    """
+    cfg = config or ModelConfig.tiny()
+    per_token = cfg.atoms_per_token
+    coords = np.asarray(prediction.coords)
+    expected_atoms = prediction.num_tokens * per_token
+    if coords.shape != (expected_atoms, 3):
+        raise ValueError(
+            f"prediction has {coords.shape[0]} atoms; assembly/config "
+            f"imply {expected_atoms}"
+        )
+    if assembly.num_tokens != prediction.num_tokens:
+        raise ValueError("assembly token count does not match prediction")
+
+    plddt = prediction.confidence.plddt
+    lines: List[str] = [
+        "HEADER    PREDICTED STRUCTURE (REPRO MINI-AF3)",
+        f"TITLE     {assembly.name.upper()}",
+        "REMARK   3  B-FACTOR COLUMN CARRIES PER-RESIDUE PLDDT",
+    ]
+    serial = 1
+    token = 0
+    used_chain_ids: List[str] = []
+    for chain in assembly:
+        if not chain.molecule_type.is_polymer:
+            continue
+        for copy_index in range(chain.copies):
+            chain_id = _chain_letter(chain.chain_id, copy_index,
+                                     used_chain_ids)
+            used_chain_ids.append(chain_id)
+            for res_index, residue in enumerate(chain.sequence, start=1):
+                res_name = _residue_name(residue)
+                for a in range(per_token):
+                    x, y, z = coords[token * per_token + a]
+                    atom = ATOM_NAMES[a % len(ATOM_NAMES)]
+                    # Strict PDB columns: serial 7-11, name 13-16,
+                    # altLoc 17, resName 18-20, chainID 22, resSeq
+                    # 23-26, coords 31-54, occupancy 55-60, B 61-66.
+                    lines.append(
+                        f"ATOM  {serial:5d} {atom:<4s} {res_name:>3s} "
+                        f"{chain_id}{res_index:4d}    "
+                        f"{x:8.3f}{y:8.3f}{z:8.3f}"
+                        f"{1.00:6.2f}{plddt[token]:6.2f}"
+                    )
+                    serial += 1
+                token += 1
+            lines.append(f"TER   {serial:5d}      {chain_id}")
+            serial += 1
+    lines.append("END")
+    return "\n".join(lines) + "\n"
+
+
+def _chain_letter(base: str, copy_index: int, used: List[str]) -> str:
+    if copy_index == 0 and base[:1] not in used:
+        return base[:1].upper()
+    for code in "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789":
+        if code not in used:
+            return code
+    raise ValueError("too many chains for PDB chain identifiers")
+
+
+_THREE_LETTER = {
+    "A": "ALA", "C": "CYS", "D": "ASP", "E": "GLU", "F": "PHE",
+    "G": "GLY", "H": "HIS", "I": "ILE", "K": "LYS", "L": "LEU",
+    "M": "MET", "N": "ASN", "P": "PRO", "Q": "GLN", "R": "ARG",
+    "S": "SER", "T": "THR", "V": "VAL", "W": "TRP", "Y": "TYR",
+    "U": "U", "X": "UNK",
+}
+
+
+def _residue_name(one_letter: str) -> str:
+    return _THREE_LETTER.get(one_letter, one_letter.upper().ljust(2, "N"))
+
+
+def parse_pdb_atoms(text: str) -> np.ndarray:
+    """Extract the (num_atoms, 3) coordinate array back out of PDB text."""
+    coords: List[List[float]] = []
+    for line in text.splitlines():
+        if line.startswith("ATOM"):
+            coords.append([
+                float(line[30:38]), float(line[38:46]), float(line[46:54])
+            ])
+    return np.asarray(coords)

@@ -1,0 +1,162 @@
+"""Sequence and alignment file formats: FASTA, A3M, Stockholm.
+
+The real AF3 data pipeline speaks these formats — databases ship as
+FASTA, jackhmmer emits Stockholm, and AF3 stores per-chain MSAs as A3M.
+Supporting them makes the substrate interoperable: synthetic databases
+can be exported for external tools, and externally computed MSAs can be
+fed into the feature pipeline.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from typing import Iterable, List, Optional, Tuple
+
+from ..sequences.alphabets import GAP, MoleculeType
+from .aligner import Msa
+
+FASTA_WIDTH = 60
+
+
+class FormatError(ValueError):
+    """Raised on malformed sequence/alignment files."""
+
+
+# ----------------------------------------------------------------- FASTA
+
+def write_fasta(records: Iterable[Tuple[str, str]]) -> str:
+    """Render ``(name, sequence)`` records as FASTA text."""
+    chunks: List[str] = []
+    for name, seq in records:
+        if not name:
+            raise FormatError("FASTA record requires a name")
+        if not seq:
+            raise FormatError(f"FASTA record {name!r} has no sequence")
+        body = "\n".join(textwrap.wrap(seq, FASTA_WIDTH))
+        chunks.append(f">{name}\n{body}")
+    return "\n".join(chunks) + "\n"
+
+
+def parse_fasta(text: str) -> List[Tuple[str, str]]:
+    """Parse FASTA text into ``(name, sequence)`` records."""
+    records: List[Tuple[str, str]] = []
+    name: Optional[str] = None
+    parts: List[str] = []
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith(">"):
+            if name is not None:
+                records.append((name, "".join(parts)))
+            name = line[1:].split()[0] if len(line) > 1 else ""
+            if not name:
+                raise FormatError("empty FASTA header")
+            parts = []
+        else:
+            if name is None:
+                raise FormatError("sequence data before any FASTA header")
+            parts.append(line)
+    if name is not None:
+        records.append((name, "".join(parts)))
+    for rec_name, seq in records:
+        if not seq:
+            raise FormatError(f"FASTA record {rec_name!r} has no sequence")
+    return records
+
+
+# ------------------------------------------------------------------- A3M
+
+def write_a3m(msa: Msa) -> str:
+    """Render an MSA as A3M (AF3's on-disk MSA format).
+
+    Our MSA rows are already projected onto query columns (no
+    insertions), so the A3M is a straightforward aligned FASTA with
+    ``-`` for deletions.
+    """
+    records = [(name, row) for name, row in zip(msa.row_names, msa.rows)]
+    return write_fasta(records)
+
+
+def parse_a3m(
+    text: str, molecule_type: MoleculeType = MoleculeType.PROTEIN
+) -> Msa:
+    """Parse A3M text into an :class:`Msa`.
+
+    Lowercase residues mark insertions relative to the query; per the
+    A3M convention they are removed so every row aligns to the query's
+    columns.
+    """
+    records = parse_fasta(text)
+    if not records:
+        raise FormatError("A3M must contain at least the query row")
+    rows: List[str] = []
+    names: List[str] = []
+    for name, seq in records:
+        cleaned = "".join(ch for ch in seq if not ch.islower())
+        rows.append(cleaned.upper().replace(".", GAP))
+        names.append(name)
+    width = len(rows[0])
+    for name, row in zip(names, rows):
+        if len(row) != width:
+            raise FormatError(
+                f"A3M row {name!r} has width {len(row)}, expected {width}"
+            )
+    return Msa(
+        query_name=names[0],
+        molecule_type=molecule_type,
+        rows=tuple(rows),
+        row_names=tuple(names),
+    )
+
+
+# -------------------------------------------------------------- Stockholm
+
+STOCKHOLM_HEADER = "# STOCKHOLM 1.0"
+
+
+def write_stockholm(msa: Msa) -> str:
+    """Render an MSA in Stockholm format (what jackhmmer emits)."""
+    name_width = max(len(n) for n in msa.row_names)
+    lines = [STOCKHOLM_HEADER, ""]
+    for name, row in zip(msa.row_names, msa.rows):
+        lines.append(f"{name.ljust(name_width)}  {row}")
+    lines.append("//")
+    return "\n".join(lines) + "\n"
+
+
+def parse_stockholm(
+    text: str, molecule_type: MoleculeType = MoleculeType.PROTEIN
+) -> Msa:
+    """Parse (single-block) Stockholm text into an :class:`Msa`."""
+    lines = text.splitlines()
+    if not lines or not lines[0].startswith("# STOCKHOLM"):
+        raise FormatError("missing Stockholm header")
+    names: List[str] = []
+    rows: dict = {}
+    for line in lines[1:]:
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        if stripped == "//":
+            break
+        parts = stripped.split()
+        if len(parts) != 2:
+            raise FormatError(f"malformed Stockholm line: {line!r}")
+        name, chunk = parts
+        if name not in rows:
+            names.append(name)
+            rows[name] = ""
+        rows[name] += chunk
+    if not names:
+        raise FormatError("Stockholm block contains no sequences")
+    width = len(rows[names[0]])
+    for name in names:
+        if len(rows[name]) != width:
+            raise FormatError(f"ragged Stockholm row {name!r}")
+    return Msa(
+        query_name=names[0],
+        molecule_type=molecule_type,
+        rows=tuple(rows[n].upper().replace(".", GAP) for n in names),
+        row_names=tuple(names),
+    )

@@ -1,0 +1,56 @@
+"""Profiling substrate: perf/uProf/iostat/nsys/JAX-profiler analogues."""
+
+from .analysis import (
+    BoundType,
+    CounterDelta,
+    RooflinePoint,
+    TopDownBreakdown,
+    compare_reports,
+    gpu_roofline,
+    top_down,
+)
+from .host_profile import HostEventShares, profile_host_events
+from .iostat import classify_phase, iostat_rows
+from .jax_profiler import (
+    LayerTiming,
+    TABLE6_ROWS,
+    diffusion_shares,
+    pairformer_shares,
+    profile_layers,
+)
+from .nsys import TimelineSpan, phase_fractions, timeline
+from .perf import (
+    CounterSummary,
+    cache_miss_shares,
+    cycle_shares,
+    function_table,
+)
+from .uprof import L3Report, profile_l3
+
+__all__ = [
+    "BoundType",
+    "CounterDelta",
+    "CounterSummary",
+    "HostEventShares",
+    "L3Report",
+    "LayerTiming",
+    "TABLE6_ROWS",
+    "TimelineSpan",
+    "cache_miss_shares",
+    "classify_phase",
+    "cycle_shares",
+    "diffusion_shares",
+    "function_table",
+    "iostat_rows",
+    "pairformer_shares",
+    "phase_fractions",
+    "profile_host_events",
+    "RooflinePoint",
+    "TopDownBreakdown",
+    "compare_reports",
+    "gpu_roofline",
+    "profile_l3",
+    "profile_layers",
+    "timeline",
+    "top_down",
+]

@@ -1,0 +1,27 @@
+"""iostat-style formatting of storage reports (Section V-B2c)."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..hardware.storage import IostatReport
+
+
+def classify_phase(report: IostatReport) -> str:
+    """The paper's verdict for one system: CPU-bound vs I/O-bound."""
+    if report.utilization >= 0.95:
+        return "high-throughput I/O-bound"
+    if report.utilization <= 0.25:
+        return "CPU-bound (databases cache-resident)"
+    return "mixed"
+
+
+def iostat_rows(report: IostatReport) -> Dict[str, str]:
+    """Formatted fields as `iostat -x` columns."""
+    return {
+        "rMB/s": f"{report.read_mbps:.1f}",
+        "r_await(ms)": f"{report.r_await_ms:.2f}",
+        "%util": f"{100.0 * report.utilization:.0f}",
+        "GB read": f"{report.disk_bytes_read / 1e9:.0f}",
+        "verdict": classify_phase(report),
+    }

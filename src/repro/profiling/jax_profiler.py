@@ -1,0 +1,91 @@
+"""JAX-profiler-style layer timing (the source of Table VI / Fig 9).
+
+The real JAX profiler reports mean per-invocation times of each traced
+layer.  Our equivalent evaluates the analytic cost table at the AF3
+configuration and divides by the aggregation unit: per Pairformer
+block, per diffusion denoising step — the same units the paper's
+Table VI rows use.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+from ..hardware.gpu import GpuSpec, H100
+from ..model.config import ModelConfig
+from ..model.flops import diffusion_step_costs, pairformer_block_costs
+
+#: Friendly names matching the paper's Table VI rows.
+TABLE6_ROWS = {
+    "triangle mult. update": (
+        "pairformer.triangle_mult_outgoing",
+        "pairformer.triangle_mult_incoming",
+    ),
+    "triangle attention": (
+        "pairformer.triangle_attention_starting",
+        "pairformer.triangle_attention_ending",
+    ),
+    "local attn. (encoder)": ("diffusion.local_attention_encoder",),
+    "local attn. (decoder)": ("diffusion.local_attention_decoder",),
+    "global attention": ("diffusion.global_attention",),
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class LayerTiming:
+    """Mean per-unit times (milliseconds) for one input size."""
+
+    num_tokens: int
+    pairformer_ms: float        # one Pairformer block
+    diffusion_ms: float         # one denoising step
+    layers_ms: Dict[str, float]
+
+    def row(self, name: str) -> float:
+        return self.layers_ms[name]
+
+
+def profile_layers(
+    num_tokens: int,
+    gpu: GpuSpec = H100,
+    config: Optional[ModelConfig] = None,
+) -> LayerTiming:
+    """Layer-wise mean times as the JAX profiler would report them."""
+    cfg = config or ModelConfig.af3()
+    pf = pairformer_block_costs(num_tokens, cfg)
+    df = diffusion_step_costs(num_tokens, cfg)
+    scope_ms: Dict[str, float] = {}
+    for scope, cost in {**pf, **df}.items():
+        scope_ms[scope] = gpu.scope_time(scope, cost, units=1) * 1000.0
+    layers = {
+        name: sum(scope_ms[s] for s in scopes)
+        for name, scopes in TABLE6_ROWS.items()
+    }
+    return LayerTiming(
+        num_tokens=num_tokens,
+        pairformer_ms=sum(scope_ms[s] for s in pf),
+        diffusion_ms=sum(scope_ms[s] for s in df),
+        layers_ms=layers,
+    )
+
+
+def pairformer_shares(
+    num_tokens: int, gpu: GpuSpec = H100, config: Optional[ModelConfig] = None
+) -> Dict[str, float]:
+    """Per-layer share of Pairformer block time (Fig 9, red slices)."""
+    cfg = config or ModelConfig.af3()
+    pf = pairformer_block_costs(num_tokens, cfg)
+    times = {s: gpu.scope_time(s, c, 1) for s, c in pf.items()}
+    total = sum(times.values()) or 1.0
+    return {s: t / total for s, t in times.items()}
+
+
+def diffusion_shares(
+    num_tokens: int, gpu: GpuSpec = H100, config: Optional[ModelConfig] = None
+) -> Dict[str, float]:
+    """Per-layer share of a diffusion step (Fig 9, blue slices)."""
+    cfg = config or ModelConfig.af3()
+    df = diffusion_step_costs(num_tokens, cfg)
+    times = {s: gpu.scope_time(s, c, 1) for s, c in df.items()}
+    total = sum(times.values()) or 1.0
+    return {s: t / total for s, t in times.items()}

@@ -1,0 +1,48 @@
+"""Nsight-Systems-style timeline view of the inference phase."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Tuple
+
+from ..hardware.gpu import InferenceBreakdown
+
+
+@dataclasses.dataclass(frozen=True)
+class TimelineSpan:
+    """One phase span on the inference timeline."""
+
+    name: str
+    start_s: float
+    end_s: float
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+def timeline(breakdown: InferenceBreakdown) -> List[TimelineSpan]:
+    """Sequential phase spans as nsys would show them.
+
+    Host dispatch is single-threaded, so the phases serialise — the
+    reason Fig 6 finds no benefit from extra CPU threads.
+    """
+    spans: List[TimelineSpan] = []
+    cursor = 0.0
+    for name, seconds in (
+        ("gpu_initialization", breakdown.initialization),
+        ("xla_compilation", breakdown.xla_compile),
+        ("gpu_compute", breakdown.gpu_compute),
+        ("finalization", breakdown.finalization),
+    ):
+        spans.append(TimelineSpan(name, cursor, cursor + seconds))
+        cursor += seconds
+    return spans
+
+
+def phase_fractions(breakdown: InferenceBreakdown) -> List[Tuple[str, float]]:
+    """Phase shares of total inference time (Fig 8's stacking)."""
+    total = breakdown.total or 1.0
+    return [
+        (span.name, span.duration_s / total) for span in timeline(breakdown)
+    ]

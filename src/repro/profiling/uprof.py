@@ -1,0 +1,43 @@
+"""AMD uProf-style L3 view (used for the paper's Ryzen measurements).
+
+uProf reports L3 metrics per-function like perf but with AMD's event
+taxonomy; the interesting signal the paper pulls from it is the L3
+miss escalation of ``calc_band_9`` under multi-threading (1 % -> 40 %+,
+Section V-B2b).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict
+
+from ..hardware.cpu import CpuPhaseReport, CpuSimulator, RYZEN_7900X
+from ..trace import WorkloadTrace
+
+
+@dataclasses.dataclass(frozen=True)
+class L3Report:
+    """Per-function L3 miss rates at one thread count."""
+
+    threads: int
+    l3_miss_pct_by_function: Dict[str, float]
+    overall_l3_miss_pct: float
+
+
+def profile_l3(
+    trace: WorkloadTrace, threads: int, simulator: CpuSimulator = None
+) -> L3Report:
+    """Run the AMD simulation and extract the L3 view."""
+    sim = simulator or CpuSimulator(RYZEN_7900X)
+    if sim.spec.vendor != "amd":
+        raise ValueError("uProf only profiles AMD CPUs")
+    report: CpuPhaseReport = sim.simulate(trace, threads)
+    per_function = {}
+    for name, f in report.functions.items():
+        if f.llc_accesses > 0:
+            per_function[name] = 100.0 * f.llc_misses / f.llc_accesses
+    return L3Report(
+        threads=threads,
+        l3_miss_pct_by_function=per_function,
+        overall_l3_miss_pct=report.llc_miss_pct,
+    )

@@ -1,0 +1,127 @@
+"""Biological alphabets and molecule types used throughout the suite.
+
+AlphaFold3 accepts heterogeneous assemblies: protein chains, DNA chains,
+RNA chains, plus ligands and ions.  The characterization paper only
+exercises sequence-bearing chains (protein/DNA/RNA), so those are the
+first-class citizens here; ligands/ions are represented but carry no
+sequence and are excluded from the MSA phase, exactly as in AF3.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Tuple
+
+PROTEIN_ALPHABET: Tuple[str, ...] = tuple("ACDEFGHIKLMNPQRSTVWY")
+DNA_ALPHABET: Tuple[str, ...] = tuple("ACGT")
+RNA_ALPHABET: Tuple[str, ...] = tuple("ACGU")
+
+#: Gap symbol used in alignments and MSA matrices.
+GAP = "-"
+
+#: Unknown-residue symbols accepted on input and mapped to a wildcard.
+PROTEIN_UNKNOWN = "X"
+NUCLEIC_UNKNOWN = "N"
+
+# Background (null-model) frequencies.  Protein values follow the
+# Robinson & Robinson composition used by HMMER's null model; nucleotide
+# backgrounds are uniform, which is what nhmmer defaults to.
+PROTEIN_BACKGROUND: Dict[str, float] = {
+    "A": 0.0787, "C": 0.0151, "D": 0.0535, "E": 0.0668, "F": 0.0397,
+    "G": 0.0695, "H": 0.0229, "I": 0.0590, "K": 0.0581, "L": 0.0963,
+    "M": 0.0237, "N": 0.0413, "P": 0.0484, "Q": 0.0395, "R": 0.0540,
+    "S": 0.0683, "T": 0.0541, "V": 0.0673, "W": 0.0114, "Y": 0.0304,
+}
+
+DNA_BACKGROUND: Dict[str, float] = {c: 0.25 for c in DNA_ALPHABET}
+RNA_BACKGROUND: Dict[str, float] = {c: 0.25 for c in RNA_ALPHABET}
+
+
+class MoleculeType(enum.Enum):
+    """Kind of biomolecule a chain represents."""
+
+    PROTEIN = "protein"
+    DNA = "dna"
+    RNA = "rna"
+    LIGAND = "ligand"
+    ION = "ion"
+
+    @property
+    def is_polymer(self) -> bool:
+        """True for sequence-bearing chains (protein / DNA / RNA)."""
+        return self in (MoleculeType.PROTEIN, MoleculeType.DNA, MoleculeType.RNA)
+
+    @property
+    def runs_msa(self) -> bool:
+        """Whether AF3 performs an MSA search for this molecule type.
+
+        Protein chains are searched with jackhmmer, RNA chains with
+        nhmmer.  DNA chains are *excluded* from the MSA phase (paper,
+        Section IV-B), as are ligands and ions.
+        """
+        return self in (MoleculeType.PROTEIN, MoleculeType.RNA)
+
+
+_ALPHABETS: Dict[MoleculeType, Tuple[str, ...]] = {
+    MoleculeType.PROTEIN: PROTEIN_ALPHABET,
+    MoleculeType.DNA: DNA_ALPHABET,
+    MoleculeType.RNA: RNA_ALPHABET,
+}
+
+_BACKGROUNDS: Dict[MoleculeType, Dict[str, float]] = {
+    MoleculeType.PROTEIN: PROTEIN_BACKGROUND,
+    MoleculeType.DNA: DNA_BACKGROUND,
+    MoleculeType.RNA: RNA_BACKGROUND,
+}
+
+_UNKNOWNS: Dict[MoleculeType, str] = {
+    MoleculeType.PROTEIN: PROTEIN_UNKNOWN,
+    MoleculeType.DNA: NUCLEIC_UNKNOWN,
+    MoleculeType.RNA: NUCLEIC_UNKNOWN,
+}
+
+
+def alphabet_for(molecule_type: MoleculeType) -> Tuple[str, ...]:
+    """Return the residue alphabet for a polymer molecule type."""
+    try:
+        return _ALPHABETS[molecule_type]
+    except KeyError:
+        raise ValueError(f"{molecule_type} has no sequence alphabet") from None
+
+
+def background_for(molecule_type: MoleculeType) -> Dict[str, float]:
+    """Return the null-model residue frequencies for a polymer type."""
+    try:
+        return _BACKGROUNDS[molecule_type]
+    except KeyError:
+        raise ValueError(f"{molecule_type} has no background model") from None
+
+
+def unknown_symbol_for(molecule_type: MoleculeType) -> str:
+    """Return the wildcard residue symbol for a polymer type."""
+    try:
+        return _UNKNOWNS[molecule_type]
+    except KeyError:
+        raise ValueError(f"{molecule_type} has no unknown symbol") from None
+
+
+def validate_sequence(sequence: str, molecule_type: MoleculeType) -> str:
+    """Validate and canonicalise a residue string.
+
+    Uppercases the input, accepts the type's wildcard symbol, and raises
+    :class:`ValueError` on anything outside the alphabet.  Returns the
+    canonical sequence.
+    """
+    if not molecule_type.is_polymer:
+        raise ValueError(f"{molecule_type} chains do not carry sequences")
+    if not sequence:
+        raise ValueError("empty sequence")
+    seq = sequence.upper()
+    allowed = set(alphabet_for(molecule_type))
+    allowed.add(unknown_symbol_for(molecule_type))
+    bad = sorted(set(seq) - allowed)
+    if bad:
+        raise ValueError(
+            f"invalid residue(s) {bad!r} for {molecule_type.value} sequence"
+        )
+    return seq

@@ -1,0 +1,158 @@
+"""The five AFSysBench benchmark inputs (paper Table II).
+
+The paper's samples derive from PDB entries (2PV7, 7RCE, 1YY9, a
+promoter-bound complex, and a 6QNR subset).  The PDB sequences are not
+redistributable as part of this reproduction, so we synthesise chains
+with the same *workload-relevant* properties: chain counts, molecule
+types, per-chain lengths summing to the published totals, symmetric vs
+asymmetric chain structure, and — crucially for promo — a long poly-Q
+low-complexity region in chain A.
+
+All sequences are deterministic (fixed seeds) so every run of the suite
+benchmarks identical inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .alphabets import MoleculeType
+from .chain import Assembly, Chain
+from .generator import insert_poly_run, random_sequence
+from .sample import ComplexityClass, InputSample
+
+_SEED = 20250705
+
+
+def _protein(length: int, salt: int) -> str:
+    return random_sequence(length, MoleculeType.PROTEIN, seed=_SEED + salt)
+
+
+def _dna(length: int, salt: int) -> str:
+    return random_sequence(length, MoleculeType.DNA, seed=_SEED + salt)
+
+
+def _rna(length: int, salt: int) -> str:
+    return random_sequence(length, MoleculeType.RNA, seed=_SEED + salt)
+
+
+def make_2pv7() -> InputSample:
+    """Symmetric protein homodimer, 484 residues total (2 x 242)."""
+    seq = _protein(242, 1)
+    return InputSample(
+        name="2PV7",
+        assembly=Assembly(
+            name="2PV7",
+            chains=[Chain("A", MoleculeType.PROTEIN, seq, copies=2)],
+        ),
+        complexity=ComplexityClass.LOW,
+        target_characteristic="Symmetric multi-chain processing",
+    )
+
+
+def make_7rce() -> InputSample:
+    """Protein (1) + DNA (2), 306 residues total (166 + 2 x 70)."""
+    return InputSample(
+        name="7RCE",
+        assembly=Assembly(
+            name="7RCE",
+            chains=[
+                Chain("A", MoleculeType.PROTEIN, _protein(166, 11)),
+                Chain("B", MoleculeType.DNA, _dna(70, 12)),
+                Chain("C", MoleculeType.DNA, _dna(70, 13)),
+            ],
+        ),
+        complexity=ComplexityClass.LOW_MID,
+        target_characteristic="Baseline for mixed-type input",
+    )
+
+
+def make_1yy9() -> InputSample:
+    """Asymmetric three-chain protein complex, 881 residues total."""
+    return InputSample(
+        name="1YY9",
+        assembly=Assembly(
+            name="1YY9",
+            chains=[
+                Chain("A", MoleculeType.PROTEIN, _protein(450, 21)),
+                Chain("B", MoleculeType.PROTEIN, _protein(219, 22)),
+                Chain("C", MoleculeType.PROTEIN, _protein(212, 23)),
+            ],
+        ),
+        complexity=ComplexityClass.MID,
+        target_characteristic="Asymmetric multi-chain complex",
+    )
+
+
+#: Length of the poly-glutamine run inserted in promo chain A.  Real
+#: promoter-binding transcription factors carry poly-Q tracts of tens of
+#: residues; 48 puts ~12% of chain A below the SEG entropy threshold.
+PROMO_POLYQ_LENGTH = 48
+
+
+def make_promo() -> InputSample:
+    """Protein (3) + DNA (2), 857 residues, poly-Q tract in chain A."""
+    chain_a = insert_poly_run(
+        _protein(403, 31), residue="Q",
+        run_length=PROMO_POLYQ_LENGTH, position=120,
+    )
+    return InputSample(
+        name="promo",
+        assembly=Assembly(
+            name="promo",
+            chains=[
+                Chain("A", MoleculeType.PROTEIN, chain_a),
+                Chain("B", MoleculeType.PROTEIN, _protein(180, 32)),
+                Chain("C", MoleculeType.PROTEIN, _protein(170, 33)),
+                Chain("D", MoleculeType.DNA, _dna(52, 34)),
+                Chain("E", MoleculeType.DNA, _dna(52, 35)),
+            ],
+        ),
+        complexity=ComplexityClass.MID_HIGH,
+        target_characteristic="MSA pipeline stress with low-complexity sequence",
+    )
+
+
+#: RNA chain length in the 6QNR subset.  Long enough that nhmmer's
+#: non-linear memory curve (Fig 2) exceeds the Desktop's default 64 GiB
+#: — reproducing the paper's OOM-then-128-GiB-upgrade story — while
+#: still fitting the Server.
+QNR_RNA_LENGTH = 650
+
+
+def make_6qnr() -> InputSample:
+    """Protein (9) + RNA (1), 1,395 residues: high-chain-count assembly."""
+    protein_lengths = [120, 110, 100, 95, 85, 75, 65, 55, 40]  # 745
+    chains: List[Chain] = [
+        Chain(chr(ord("A") + i), MoleculeType.PROTEIN, _protein(length, 41 + i))
+        for i, length in enumerate(protein_lengths)
+    ]
+    chains.append(Chain("R", MoleculeType.RNA, _rna(QNR_RNA_LENGTH, 59)))
+    return InputSample(
+        name="6QNR",
+        assembly=Assembly(name="6QNR", chains=chains),
+        complexity=ComplexityClass.HIGH,
+        target_characteristic="High chain-count assembly with mixed input types",
+    )
+
+
+def builtin_samples() -> Dict[str, InputSample]:
+    """All five Table II samples keyed by name, in paper order."""
+    samples = [make_2pv7(), make_7rce(), make_1yy9(), make_promo(), make_6qnr()]
+    return {s.name: s for s in samples}
+
+
+def get_sample(name: str) -> InputSample:
+    """Fetch one builtin sample by (case-insensitive) name."""
+    samples = builtin_samples()
+    for key, sample in samples.items():
+        if key.lower() == name.lower():
+            return sample
+    raise KeyError(
+        f"unknown sample {name!r}; available: {', '.join(samples)}"
+    )
+
+
+#: Sample names used in the paper's figures, in presentation order.
+FIGURE_SAMPLES = ("2PV7", "7RCE", "1YY9", "promo")
+ALL_SAMPLES = ("2PV7", "7RCE", "1YY9", "promo", "6QNR")

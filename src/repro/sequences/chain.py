@@ -1,0 +1,142 @@
+"""Chain and assembly data model mirroring the AF3 input schema."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from .alphabets import MoleculeType, validate_sequence
+
+
+@dataclasses.dataclass(frozen=True)
+class Chain:
+    """A single chain in a biomolecular assembly.
+
+    Parameters
+    ----------
+    chain_id:
+        One-letter (or short) identifier, e.g. ``"A"``.
+    molecule_type:
+        Kind of molecule; only polymer types carry a sequence.
+    sequence:
+        Residue string for polymer chains; ``None`` for ligands/ions.
+    copies:
+        Number of identical copies of this chain in the assembly (the
+        AF3 JSON format expresses homo-multimers as one entry with
+        multiple ids).
+    """
+
+    chain_id: str
+    molecule_type: MoleculeType
+    sequence: Optional[str] = None
+    copies: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.chain_id:
+            raise ValueError("chain_id must be non-empty")
+        if self.copies < 1:
+            raise ValueError("copies must be >= 1")
+        if self.molecule_type.is_polymer:
+            if self.sequence is None:
+                raise ValueError(
+                    f"polymer chain {self.chain_id!r} requires a sequence"
+                )
+            object.__setattr__(
+                self, "sequence", validate_sequence(self.sequence, self.molecule_type)
+            )
+        elif self.sequence is not None:
+            raise ValueError(
+                f"non-polymer chain {self.chain_id!r} must not carry a sequence"
+            )
+
+    @property
+    def length(self) -> int:
+        """Residue count of one copy (0 for ligands/ions)."""
+        return len(self.sequence) if self.sequence else 0
+
+    @property
+    def total_length(self) -> int:
+        """Residue count across all copies."""
+        return self.length * self.copies
+
+
+@dataclasses.dataclass(frozen=True)
+class Assembly:
+    """An ordered collection of chains forming one prediction target."""
+
+    name: str
+    chains: Sequence[Chain]
+
+    def __post_init__(self) -> None:
+        if not self.chains:
+            raise ValueError("assembly must contain at least one chain")
+        ids: List[str] = [c.chain_id for c in self.chains]
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"duplicate chain ids in assembly {self.name!r}")
+        object.__setattr__(self, "chains", tuple(self.chains))
+
+    def __iter__(self) -> Iterator[Chain]:
+        return iter(self.chains)
+
+    def __len__(self) -> int:
+        return len(self.chains)
+
+    @property
+    def total_residues(self) -> int:
+        """Total residue count over all polymer chains and copies."""
+        return sum(c.total_length for c in self.chains)
+
+    @property
+    def num_tokens(self) -> int:
+        """AF3 token count.
+
+        For our purposes one polymer residue is one token; this is the
+        ``N`` that drives pair-representation sizes (N x N x d) and the
+        O(N^3) triangle costs.
+        """
+        return self.total_residues
+
+    @property
+    def chain_count(self) -> int:
+        """Number of chain instances, counting copies."""
+        return sum(c.copies for c in self.chains)
+
+    def chains_of(self, molecule_type: MoleculeType) -> List[Chain]:
+        """All chain entries of a given molecule type."""
+        return [c for c in self.chains if c.molecule_type == molecule_type]
+
+    def msa_chains(self) -> List[Chain]:
+        """Chains that go through the MSA phase (protein and RNA).
+
+        Each *unique* sequence is searched once; copies do not repeat
+        the search (AF3 deduplicates identical chains).
+        """
+        seen: Dict[str, Chain] = {}
+        for chain in self.chains:
+            if chain.molecule_type.runs_msa and chain.sequence not in seen:
+                seen[chain.sequence] = chain  # type: ignore[index]
+        return list(seen.values())
+
+    @property
+    def composition(self) -> Dict[MoleculeType, int]:
+        """Chain-instance count per molecule type."""
+        out: Dict[MoleculeType, int] = {}
+        for chain in self.chains:
+            out[chain.molecule_type] = out.get(chain.molecule_type, 0) + chain.copies
+        return out
+
+    def describe(self) -> str:
+        """Human-readable composition string, e.g. ``Protein (3) + DNA (2)``."""
+        labels = {
+            MoleculeType.PROTEIN: "Protein",
+            MoleculeType.DNA: "DNA",
+            MoleculeType.RNA: "RNA",
+            MoleculeType.LIGAND: "Ligand",
+            MoleculeType.ION: "Ion",
+        }
+        parts = []
+        for mtype in MoleculeType:
+            count = self.composition.get(mtype, 0)
+            if count:
+                parts.append(f"{labels[mtype]} ({count})")
+        return " + ".join(parts)

@@ -1,0 +1,221 @@
+"""Workload traces: the contract between algorithms and hardware models.
+
+The functional layer (``repro.msa``, ``repro.model``) runs real
+algorithms and records *what work was done* — per function, how many
+instructions retired, how many bytes moved, how large the working set
+was and with what access pattern.  The hardware layer
+(``repro.hardware``) later replays a trace against a platform model to
+derive simulated wall time and performance-counter readings.
+
+This separation mirrors how the paper's measurements work: perf
+attributes cycles and misses to functions (``calc_band_9``,
+``copy_to_iter``, ...), and the counts depend on the input while the
+*rates* depend on the machine.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from collections import OrderedDict
+from typing import Dict, Iterable, Iterator, List, Optional
+
+
+class AccessPattern(enum.Enum):
+    """Qualitative memory-access pattern of an operation.
+
+    SEQUENTIAL streams through memory (prefetcher-friendly), STRIDED
+    walks regular but non-unit strides (partially prefetchable), RANDOM
+    follows data-dependent addresses (prefetcher-hostile, TLB-heavy).
+    """
+
+    SEQUENTIAL = "sequential"
+    STRIDED = "strided"
+    RANDOM = "random"
+
+
+class Resource(enum.Enum):
+    """Which execution resource an operation primarily occupies."""
+
+    CPU = "cpu"
+    GPU = "gpu"
+    DISK = "disk"
+
+
+@dataclasses.dataclass(frozen=True)
+class OpRecord:
+    """One traced operation (typically: one function over one phase).
+
+    Attributes
+    ----------
+    function:
+        Symbol name the work is attributed to (matches the paper's perf
+        output, e.g. ``calc_band_9``).
+    phase:
+        Pipeline phase tag, e.g. ``"msa.align"`` or ``"inference.compile"``.
+    instructions:
+        Dynamic instructions retired (CPU) — drives cycle counts.
+    bytes_read / bytes_written:
+        Data volume moved through the memory hierarchy.
+    working_set_bytes:
+        Size of the hot data the operation revisits; compared against
+        cache capacities to derive miss rates.
+    pattern:
+        Memory-access pattern (see :class:`AccessPattern`).
+    parallel:
+        Whether the work distributes across worker threads (jackhmmer
+        parallelises across target sequences; hit assembly does not).
+    resource:
+        CPU, GPU or DISK work.
+    flops:
+        Floating-point operations (GPU kernels).
+    branch_rate:
+        Branches per instruction (drives branch-miss counts).
+    page_span_bytes:
+        Address range touched; drives dTLB pressure for RANDOM/STRIDED
+        patterns.
+    disk_bytes:
+        Bytes that must come from storage if not resident in page cache.
+    """
+
+    function: str
+    phase: str
+    instructions: float = 0.0
+    bytes_read: float = 0.0
+    bytes_written: float = 0.0
+    working_set_bytes: float = 0.0
+    pattern: AccessPattern = AccessPattern.SEQUENTIAL
+    parallel: bool = True
+    resource: Resource = Resource.CPU
+    flops: float = 0.0
+    branch_rate: float = 0.12
+    page_span_bytes: float = 0.0
+    disk_bytes: float = 0.0
+
+    def __post_init__(self) -> None:
+        for field in (
+            "instructions", "bytes_read", "bytes_written",
+            "working_set_bytes", "flops", "branch_rate",
+            "page_span_bytes", "disk_bytes",
+        ):
+            if getattr(self, field) < 0:
+                raise ValueError(f"{field} must be >= 0")
+        if not self.function:
+            raise ValueError("function name must be non-empty")
+
+    @property
+    def total_bytes(self) -> float:
+        return self.bytes_read + self.bytes_written
+
+    def scaled(self, factor: float) -> "OpRecord":
+        """Scale extensive quantities (instruction/byte counts) by ``factor``.
+
+        Intensive quantities — working set, pattern, page span — are
+        left untouched: scaling a database makes you do *more* of the
+        same work, not work with a bigger inner-loop footprint.
+        """
+        if factor < 0:
+            raise ValueError("factor must be >= 0")
+        return dataclasses.replace(
+            self,
+            instructions=self.instructions * factor,
+            bytes_read=self.bytes_read * factor,
+            bytes_written=self.bytes_written * factor,
+            flops=self.flops * factor,
+            disk_bytes=self.disk_bytes * factor,
+        )
+
+
+class WorkloadTrace:
+    """An ordered collection of :class:`OpRecord` with aggregation helpers."""
+
+    def __init__(self, records: Optional[Iterable[OpRecord]] = None) -> None:
+        self._records: List[OpRecord] = list(records or [])
+
+    def add(self, record: OpRecord) -> None:
+        self._records.append(record)
+
+    def extend(self, records: Iterable[OpRecord]) -> None:
+        self._records.extend(records)
+
+    def merge(self, other: "WorkloadTrace") -> "WorkloadTrace":
+        """New trace with this trace's records followed by ``other``'s."""
+        return WorkloadTrace(self._records + other._records)
+
+    def __iter__(self) -> Iterator[OpRecord]:
+        return iter(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def records(self) -> List[OpRecord]:
+        return list(self._records)
+
+    def filter(self, *, phase_prefix: Optional[str] = None,
+               resource: Optional[Resource] = None) -> "WorkloadTrace":
+        """Sub-trace matching a phase prefix and/or resource."""
+        out = []
+        for rec in self._records:
+            if phase_prefix is not None and not rec.phase.startswith(phase_prefix):
+                continue
+            if resource is not None and rec.resource != resource:
+                continue
+            out.append(rec)
+        return WorkloadTrace(out)
+
+    def scaled(self, factor: float) -> "WorkloadTrace":
+        """Trace with every record's extensive quantities scaled."""
+        return WorkloadTrace(rec.scaled(factor) for rec in self._records)
+
+    def total_instructions(self) -> float:
+        return sum(rec.instructions for rec in self._records)
+
+    def total_bytes(self) -> float:
+        return sum(rec.total_bytes for rec in self._records)
+
+    def total_flops(self) -> float:
+        return sum(rec.flops for rec in self._records)
+
+    def total_disk_bytes(self) -> float:
+        return sum(rec.disk_bytes for rec in self._records)
+
+    def by_function(self) -> "OrderedDict[str, OpRecord]":
+        """Coalesce records per function (first-seen order preserved).
+
+        Pattern/parallel/working-set of the coalesced record come from
+        the largest contributor by instruction count, which is what a
+        sampling profiler would predominantly observe.
+        """
+        groups: "OrderedDict[str, List[OpRecord]]" = OrderedDict()
+        for rec in self._records:
+            groups.setdefault(rec.function, []).append(rec)
+        out: "OrderedDict[str, OpRecord]" = OrderedDict()
+        for name, recs in groups.items():
+            dominant = max(recs, key=lambda r: r.instructions)
+            out[name] = OpRecord(
+                function=name,
+                phase=dominant.phase,
+                instructions=sum(r.instructions for r in recs),
+                bytes_read=sum(r.bytes_read for r in recs),
+                bytes_written=sum(r.bytes_written for r in recs),
+                working_set_bytes=dominant.working_set_bytes,
+                pattern=dominant.pattern,
+                parallel=dominant.parallel,
+                resource=dominant.resource,
+                flops=sum(r.flops for r in recs),
+                branch_rate=dominant.branch_rate,
+                page_span_bytes=dominant.page_span_bytes,
+                disk_bytes=sum(r.disk_bytes for r in recs),
+            )
+        return out
+
+    def function_shares(self) -> Dict[str, float]:
+        """Instruction share per function (fractions summing to ~1)."""
+        total = self.total_instructions()
+        if total <= 0:
+            return {}
+        return {
+            name: rec.instructions / total
+            for name, rec in self.by_function().items()
+        }

@@ -1,0 +1,53 @@
+"""Shared fixtures: a tiny-but-real MSA engine reused across the suite.
+
+Functional profile-HMM searches are the expensive part of the suite;
+session-scoped fixtures run each sample's search once and share the
+cached result with every test that needs it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.runner import BenchmarkRunner
+from repro.msa.engine import MsaEngine, MsaEngineConfig
+from repro.sequences.builtin import builtin_samples
+
+TINY_MSA_CONFIG = MsaEngineConfig(
+    num_background=24,
+    homologs_per_query=4,
+    seed=7,
+)
+
+
+@pytest.fixture(scope="session")
+def msa_engine() -> MsaEngine:
+    return MsaEngine(TINY_MSA_CONFIG)
+
+
+@pytest.fixture(scope="session")
+def samples():
+    return builtin_samples()
+
+
+@pytest.fixture(scope="session")
+def msa_2pv7(msa_engine, samples):
+    return msa_engine.run(samples["2PV7"])
+
+
+@pytest.fixture(scope="session")
+def msa_promo(msa_engine, samples):
+    return msa_engine.run(samples["promo"])
+
+
+@pytest.fixture(scope="session")
+def msa_6qnr(msa_engine, samples):
+    return msa_engine.run(samples["6QNR"])
+
+
+@pytest.fixture(scope="session")
+def runner(msa_engine) -> BenchmarkRunner:
+    r = BenchmarkRunner(msa_config=TINY_MSA_CONFIG)
+    # Share the session engine (and its caches) with the runner.
+    r.msa_engine = msa_engine
+    return r

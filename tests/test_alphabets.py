@@ -1,0 +1,86 @@
+"""Unit tests for repro.sequences.alphabets."""
+
+import pytest
+
+from repro.sequences.alphabets import (
+    DNA_ALPHABET,
+    MoleculeType,
+    PROTEIN_ALPHABET,
+    PROTEIN_BACKGROUND,
+    RNA_ALPHABET,
+    alphabet_for,
+    background_for,
+    unknown_symbol_for,
+    validate_sequence,
+)
+
+
+class TestAlphabets:
+    def test_protein_alphabet_has_20_residues(self):
+        assert len(PROTEIN_ALPHABET) == 20
+        assert len(set(PROTEIN_ALPHABET)) == 20
+
+    def test_dna_rna_alphabets(self):
+        assert set(DNA_ALPHABET) == set("ACGT")
+        assert set(RNA_ALPHABET) == set("ACGU")
+
+    def test_protein_background_sums_to_one(self):
+        assert abs(sum(PROTEIN_BACKGROUND.values()) - 1.0) < 0.01
+
+    def test_background_covers_alphabet(self):
+        for mtype in (MoleculeType.PROTEIN, MoleculeType.DNA, MoleculeType.RNA):
+            bg = background_for(mtype)
+            assert set(bg) == set(alphabet_for(mtype))
+
+
+class TestMoleculeType:
+    def test_polymer_flags(self):
+        assert MoleculeType.PROTEIN.is_polymer
+        assert MoleculeType.DNA.is_polymer
+        assert MoleculeType.RNA.is_polymer
+        assert not MoleculeType.LIGAND.is_polymer
+        assert not MoleculeType.ION.is_polymer
+
+    def test_msa_participation_matches_paper(self):
+        # DNA chains are excluded from the MSA phase (Section IV-B).
+        assert MoleculeType.PROTEIN.runs_msa
+        assert MoleculeType.RNA.runs_msa
+        assert not MoleculeType.DNA.runs_msa
+        assert not MoleculeType.LIGAND.runs_msa
+
+    def test_ligand_has_no_alphabet(self):
+        with pytest.raises(ValueError):
+            alphabet_for(MoleculeType.LIGAND)
+        with pytest.raises(ValueError):
+            background_for(MoleculeType.ION)
+        with pytest.raises(ValueError):
+            unknown_symbol_for(MoleculeType.LIGAND)
+
+
+class TestValidateSequence:
+    def test_lowercase_is_canonicalised(self):
+        assert validate_sequence("acdef", MoleculeType.PROTEIN) == "ACDEF"
+
+    def test_wildcard_accepted(self):
+        assert validate_sequence("AXA", MoleculeType.PROTEIN) == "AXA"
+        assert validate_sequence("ANA", MoleculeType.DNA) == "ANA"
+
+    def test_invalid_residue_rejected(self):
+        with pytest.raises(ValueError, match="invalid residue"):
+            validate_sequence("AB!", MoleculeType.PROTEIN)
+
+    def test_dna_vs_rna_distinction(self):
+        validate_sequence("ACGT", MoleculeType.DNA)
+        with pytest.raises(ValueError):
+            validate_sequence("ACGT", MoleculeType.RNA)
+        validate_sequence("ACGU", MoleculeType.RNA)
+        with pytest.raises(ValueError):
+            validate_sequence("ACGU", MoleculeType.DNA)
+
+    def test_empty_sequence_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            validate_sequence("", MoleculeType.PROTEIN)
+
+    def test_non_polymer_rejected(self):
+        with pytest.raises(ValueError):
+            validate_sequence("AAA", MoleculeType.LIGAND)

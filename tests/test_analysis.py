@@ -1,0 +1,88 @@
+"""Roofline / top-down / diff analysis tests."""
+
+import pytest
+
+from repro.hardware.cpu import CpuSimulator, XEON_5416S
+from repro.hardware.gpu import H100, RTX_4080
+from repro.profiling.analysis import (
+    BoundType,
+    compare_reports,
+    gpu_roofline,
+    top_down,
+)
+
+
+class TestGpuRoofline:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return {p.scope: p for p in gpu_roofline(857)}
+
+    def test_all_layers_present(self, points):
+        assert "pairformer.triangle_attention_starting" in points
+        assert "diffusion.global_attention" in points
+
+    def test_triangle_mult_compute_bound(self, points):
+        # Dense N^3 contraction with register reuse: compute-bound.
+        p = points["pairformer.triangle_mult_outgoing"]
+        assert p.bound is BoundType.COMPUTE
+        assert p.intensity_ratio > 1.0
+
+    def test_small_layers_overhead_bound(self, points):
+        # Tiny per-step layers never fill the device.
+        p = points["diffusion.atom_embedding"]
+        assert p.bound is BoundType.OVERHEAD
+
+    def test_intensity_positive(self, points):
+        for p in points.values():
+            assert p.arithmetic_intensity > 0
+            assert p.machine_balance > 0
+
+    def test_sorted_by_flops(self):
+        pts = gpu_roofline(484)
+        flops = [p.flops for p in pts]
+        assert flops == sorted(flops, reverse=True)
+
+    def test_desktop_balance_differs(self):
+        h100 = {p.scope: p for p in gpu_roofline(484, H100)}
+        rtx = {p.scope: p for p in gpu_roofline(484, RTX_4080)}
+        scope = "pairformer.triangle_attention_starting"
+        assert h100[scope].machine_balance != rtx[scope].machine_balance
+
+
+class TestTopDown:
+    @pytest.fixture(scope="class")
+    def breakdowns(self, msa_2pv7):
+        report = CpuSimulator(XEON_5416S).simulate(msa_2pv7.trace, 4)
+        return {b.function: b for b in top_down(report)}
+
+    def test_fractions_sum_to_one(self, breakdowns):
+        for b in breakdowns.values():
+            total = (
+                b.retiring_fraction + b.cache_stall_fraction
+                + b.tlb_stall_fraction + b.branch_stall_fraction
+            )
+            assert total == pytest.approx(1.0, abs=1e-6)
+
+    def test_dp_kernels_mostly_retiring(self, breakdowns):
+        # Compute-dominant alignment functions (paper Observation 4).
+        assert breakdowns["calc_band_9"].dominant() == "retiring"
+
+    def test_all_functions_covered(self, breakdowns, msa_2pv7):
+        assert set(breakdowns) == set(msa_2pv7.trace.function_shares())
+
+
+class TestCompareReports:
+    def test_thread_scaling_diff(self, msa_2pv7):
+        sim = CpuSimulator(XEON_5416S)
+        r1 = sim.simulate(msa_2pv7.trace, 1)
+        r6 = sim.simulate(msa_2pv7.trace, 6)
+        deltas = {d.metric: d for d in compare_reports(r1, r6)}
+        assert deltas["seconds"].ratio < 1.0          # faster
+        assert deltas["ipc"].ratio < 1.0              # lower IPC
+        assert deltas["cache_miss_mpki"].ratio > 1.5  # contention grows
+
+    def test_self_diff_is_unity(self, msa_2pv7):
+        report = CpuSimulator(XEON_5416S).simulate(msa_2pv7.trace, 2)
+        for delta in compare_reports(report, report):
+            if delta.before:
+                assert delta.ratio == pytest.approx(1.0)

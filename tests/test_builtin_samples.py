@@ -1,0 +1,101 @@
+"""The five builtin samples must match the paper's Table II exactly."""
+
+import pytest
+
+from repro.sequences.alphabets import MoleculeType
+from repro.sequences.builtin import (
+    ALL_SAMPLES,
+    PROMO_POLYQ_LENGTH,
+    builtin_samples,
+    get_sample,
+)
+from repro.sequences.sample import ComplexityClass
+
+
+class TestTable2Properties:
+    """Every row of Table II, pinned."""
+
+    @pytest.mark.parametrize(
+        "name, length, complexity, structure",
+        [
+            ("2PV7", 484, ComplexityClass.LOW, "Protein (2)"),
+            ("7RCE", 306, ComplexityClass.LOW_MID, "Protein (1) + DNA (2)"),
+            ("1YY9", 881, ComplexityClass.MID, "Protein (3)"),
+            ("promo", 857, ComplexityClass.MID_HIGH, "Protein (3) + DNA (2)"),
+            ("6QNR", 1395, ComplexityClass.HIGH, "Protein (9) + RNA (1)"),
+        ],
+    )
+    def test_row(self, name, length, complexity, structure):
+        sample = get_sample(name)
+        assert sample.sequence_length == length
+        assert sample.complexity is complexity
+        assert sample.structure_description == structure
+
+    def test_sample_order(self):
+        assert tuple(builtin_samples()) == ALL_SAMPLES
+
+
+class TestSampleCharacteristics:
+    def test_2pv7_is_symmetric_homodimer(self):
+        s = get_sample("2PV7")
+        assert len(s.assembly.chains) == 1
+        assert s.assembly.chains[0].copies == 2
+        # Identical chains are deduplicated: only one MSA search.
+        assert len(s.msa_queries()) == 1
+
+    def test_1yy9_is_asymmetric(self):
+        s = get_sample("1YY9")
+        lengths = [c.length for c in s.assembly]
+        assert len(set(lengths)) == 3
+
+    def test_promo_has_polyq_tract(self):
+        s = get_sample("promo")
+        chain_a = s.assembly.chains[0]
+        assert "Q" * PROMO_POLYQ_LENGTH in chain_a.sequence
+        prof = s.chain_complexity_profiles()["A"]
+        assert prof.is_low_complexity
+
+    def test_promo_dna_excluded_from_msa(self):
+        s = get_sample("promo")
+        assert len(s.msa_queries()) == 3  # only the protein chains
+
+    def test_1yy9_has_no_low_complexity(self):
+        for prof in get_sample("1YY9").chain_complexity_profiles().values():
+            assert not prof.is_low_complexity
+
+    def test_6qnr_rna_triggers_memory_pressure(self):
+        s = get_sample("6QNR")
+        assert s.has_rna
+        # RNA long enough that nhmmer memory exceeds the Desktop's
+        # default 64 GiB (the paper's OOM-then-upgrade story).
+        from repro.msa.nhmmer import rna_peak_memory_bytes
+
+        peak = rna_peak_memory_bytes(s.max_rna_length)
+        assert 64 * 1024 ** 3 < peak < 128 * 1024 ** 3 * 0.94
+
+    def test_6qnr_msa_queries(self):
+        s = get_sample("6QNR")
+        queries = s.msa_queries()
+        assert len(queries) == 10  # 9 protein + 1 RNA
+        assert sum(
+            q.molecule_type is MoleculeType.RNA for q in queries
+        ) == 1
+
+    def test_samples_deterministic(self):
+        a = get_sample("promo").assembly.chains[0].sequence
+        b = get_sample("promo").assembly.chains[0].sequence
+        assert a == b
+
+    def test_get_sample_case_insensitive(self):
+        assert get_sample("promo").name == get_sample("PROMO").name
+
+    def test_get_sample_unknown(self):
+        with pytest.raises(KeyError):
+            get_sample("9ZZZ")
+
+    def test_promo_vs_1yy9_comparable_lengths(self):
+        # The paper's pairing: similar residue counts, very different
+        # MSA behaviour (Observation 2).
+        promo = get_sample("promo").sequence_length
+        yy9 = get_sample("1YY9").sequence_length
+        assert abs(promo - yy9) / yy9 < 0.05

@@ -1,0 +1,110 @@
+"""Unit tests for repro.sequences.chain."""
+
+import pytest
+
+from repro.sequences.chain import Assembly, Chain
+from repro.sequences.alphabets import MoleculeType
+
+
+def protein(chain_id="A", seq="MKTAYIAK", copies=1):
+    return Chain(chain_id, MoleculeType.PROTEIN, seq, copies=copies)
+
+
+class TestChain:
+    def test_basic_properties(self):
+        c = protein()
+        assert c.length == 8
+        assert c.total_length == 8
+
+    def test_copies_multiply_total_length(self):
+        c = protein(copies=3)
+        assert c.length == 8
+        assert c.total_length == 24
+
+    def test_polymer_requires_sequence(self):
+        with pytest.raises(ValueError, match="requires a sequence"):
+            Chain("A", MoleculeType.PROTEIN)
+
+    def test_non_polymer_rejects_sequence(self):
+        with pytest.raises(ValueError, match="must not carry"):
+            Chain("L", MoleculeType.LIGAND, "AAA")
+
+    def test_ligand_has_zero_length(self):
+        c = Chain("L", MoleculeType.LIGAND)
+        assert c.length == 0
+        assert c.total_length == 0
+
+    def test_sequence_canonicalised(self):
+        c = Chain("A", MoleculeType.PROTEIN, "mkta")
+        assert c.sequence == "MKTA"
+
+    def test_invalid_copies(self):
+        with pytest.raises(ValueError):
+            protein(copies=0)
+
+    def test_empty_chain_id(self):
+        with pytest.raises(ValueError):
+            Chain("", MoleculeType.PROTEIN, "MK")
+
+
+class TestAssembly:
+    def test_total_residues(self):
+        asm = Assembly("x", [protein("A"), protein("B", "MK")])
+        assert asm.total_residues == 10
+        assert asm.num_tokens == 10
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Assembly("x", [protein("A"), protein("A")])
+
+    def test_empty_assembly_rejected(self):
+        with pytest.raises(ValueError):
+            Assembly("x", [])
+
+    def test_chain_count_counts_copies(self):
+        asm = Assembly("x", [protein("A", copies=2), protein("B", "MK")])
+        assert asm.chain_count == 3
+        assert len(asm) == 2
+
+    def test_msa_chains_deduplicate_identical_sequences(self):
+        asm = Assembly(
+            "x",
+            [protein("A", "MKTAYIAK"), protein("B", "MKTAYIAK"),
+             protein("C", "CCCC")],
+        )
+        msa = asm.msa_chains()
+        assert len(msa) == 2
+
+    def test_msa_chains_exclude_dna(self):
+        asm = Assembly(
+            "x",
+            [protein("A"), Chain("B", MoleculeType.DNA, "ACGT"),
+             Chain("R", MoleculeType.RNA, "ACGU")],
+        )
+        types = {c.molecule_type for c in asm.msa_chains()}
+        assert MoleculeType.DNA not in types
+        assert MoleculeType.RNA in types
+        assert MoleculeType.PROTEIN in types
+
+    def test_describe_format(self):
+        asm = Assembly(
+            "x",
+            [protein("A", copies=3), Chain("D", MoleculeType.DNA, "ACGT"),
+             Chain("E", MoleculeType.DNA, "ACGT")],
+        )
+        assert asm.describe() == "Protein (3) + DNA (2)"
+
+    def test_chains_of(self):
+        asm = Assembly(
+            "x", [protein("A"), Chain("B", MoleculeType.DNA, "ACGT")]
+        )
+        assert len(asm.chains_of(MoleculeType.DNA)) == 1
+        assert len(asm.chains_of(MoleculeType.RNA)) == 0
+
+    def test_composition(self):
+        asm = Assembly("x", [protein("A", copies=2)])
+        assert asm.composition == {MoleculeType.PROTEIN: 2}
+
+    def test_iteration(self):
+        asm = Assembly("x", [protein("A"), protein("B", "MK")])
+        assert [c.chain_id for c in asm] == ["A", "B"]

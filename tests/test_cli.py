@@ -1,0 +1,94 @@
+"""CLI tests (fast paths; sweep covered by a tiny invocation)."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.sample == "2PV7"
+        assert args.platform == "Server"
+        assert args.threads == 8
+
+    def test_unknown_platform_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--platform", "Laptop"])
+
+
+class TestCommands:
+    def test_samples_lists_all(self, capsys):
+        assert main(["samples"]) == 0
+        out = capsys.readouterr().out
+        for name in ("2PV7", "7RCE", "1YY9", "promo", "6QNR"):
+            assert name in out
+
+    def test_artifact_table1(self, capsys):
+        assert main(["artifact", "table1"]) == 0
+        assert "Xeon" in capsys.readouterr().out
+
+    def test_artifact_unknown(self, capsys):
+        assert main(["artifact", "table99"]) == 2
+
+    def test_run_json_output(self, capsys):
+        code = main([
+            "run", "--sample", "7RCE", "--platform", "Desktop",
+            "--threads", "2", "--format", "json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["sample"] == "7RCE"
+        assert payload["msa_seconds"] > 0
+        assert 0 < payload["msa_fraction"] < 1
+
+    def test_run_oom_exit_code(self, capsys):
+        # 6QNR on the stock Desktop dies like the real thing.
+        code = main([
+            "run", "--sample", "6QNR", "--platform", "Desktop",
+            "--threads", "4",
+        ])
+        assert code == 2
+        assert "OOM" in capsys.readouterr().err
+
+    def test_run_unknown_sample(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--sample", "NOPE"])
+
+    def test_estimate_6qnr(self, capsys):
+        assert main(["estimate", "--sample", "6QNR"]) == 0
+        out = capsys.readouterr().out
+        assert "97.5" in out
+        assert "unified memory" in out
+
+    def test_run_with_json_input(self, tmp_path, capsys):
+        doc = {
+            "name": "cli_test",
+            "sequences": [
+                {"protein": {"id": "A", "sequence": "MKTAYIAK" * 10}}
+            ],
+        }
+        path = tmp_path / "input.json"
+        path.write_text(json.dumps(doc))
+        code = main([
+            "run", "--json", str(path), "--platform", "Desktop",
+            "--threads", "2", "--format", "json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["sample"] == "cli_test"
+
+    def test_sweep_json(self, capsys):
+        code = main([
+            "sweep", "--samples", "7RCE", "--threads", "1", "4",
+            "--format", "json",
+        ])
+        assert code == 0
+        records = json.loads(capsys.readouterr().out)
+        assert len(records) == 4  # 1 sample x 2 platforms x 2 threads

@@ -1,0 +1,109 @@
+"""Unit tests for sequence-complexity analysis (promo's poly-Q driver)."""
+
+import math
+
+import pytest
+
+from repro.sequences.complexity import (
+    ComplexityProfile,
+    longest_run,
+    low_complexity_mask,
+    profile_sequence,
+    shannon_entropy,
+    windowed_entropy,
+)
+from repro.sequences.generator import insert_poly_run, random_sequence
+
+
+class TestShannonEntropy:
+    def test_empty(self):
+        assert shannon_entropy("") == 0.0
+
+    def test_homopolymer_is_zero(self):
+        assert shannon_entropy("QQQQQQ") == 0.0
+
+    def test_uniform_two_symbols_is_one_bit(self):
+        assert abs(shannon_entropy("ABAB") - 1.0) < 1e-12
+
+    def test_random_protein_near_max(self):
+        seq = random_sequence(5000, seed=3)
+        # 20-letter background entropy is ~4.19 bits.
+        assert 3.9 < shannon_entropy(seq) < math.log2(20) + 0.01
+
+
+class TestWindowedEntropy:
+    def test_short_sequence_single_window(self):
+        assert len(windowed_entropy("ABC", window=12)) == 1
+
+    def test_window_count(self):
+        seq = random_sequence(100, seed=1)
+        assert len(windowed_entropy(seq, window=12)) == 100 - 12 + 1
+
+    def test_incremental_matches_direct(self):
+        seq = random_sequence(60, seed=2)
+        window = 10
+        ents = windowed_entropy(seq, window)
+        for i in (0, 13, 50):
+            assert abs(ents[i] - shannon_entropy(seq[i:i + window])) < 1e-9
+
+
+class TestLongestRun:
+    def test_empty(self):
+        assert longest_run("") == ("", 0)
+
+    def test_single_char(self):
+        assert longest_run("A") == ("A", 1)
+
+    def test_finds_run(self):
+        assert longest_run("ABQQQQC") == ("Q", 4)
+
+    def test_run_at_end(self):
+        assert longest_run("ABCDDD") == ("D", 3)
+
+
+class TestLowComplexityMask:
+    def test_polyq_masked(self):
+        seq = insert_poly_run(random_sequence(100, seed=5), "Q", 30, position=30)
+        mask = low_complexity_mask(seq)
+        assert all(mask[35:55])  # core of the run is masked
+
+    def test_random_mostly_unmasked(self):
+        mask = low_complexity_mask(random_sequence(200, seed=9))
+        assert sum(mask) / len(mask) < 0.15
+
+    def test_empty(self):
+        assert low_complexity_mask("") == []
+
+
+class TestComplexityProfile:
+    def test_promo_like_sequence_is_low_complexity(self):
+        seq = insert_poly_run(random_sequence(400, seed=4), "Q", 48, position=120)
+        prof = profile_sequence(seq)
+        assert prof.is_low_complexity
+        assert prof.longest_run_residue == "Q"
+        assert prof.longest_run_length >= 48
+
+    def test_random_sequence_is_not(self):
+        prof = profile_sequence(random_sequence(400, seed=6))
+        assert not prof.is_low_complexity
+
+    def test_inflation_monotone_in_masked_fraction(self):
+        base = random_sequence(400, seed=8)
+        factors = []
+        for run in (0, 20, 40, 80):
+            seq = insert_poly_run(base, "Q", run, position=100) if run else base
+            factors.append(profile_sequence(seq).hit_inflation_factor)
+        assert factors == sorted(factors)
+        assert factors[0] >= 1.0
+
+    def test_inflation_bounded(self):
+        prof = profile_sequence("Q" * 500)
+        assert prof.hit_inflation_factor <= 4.0
+
+    def test_promo_inflation_near_calibration_target(self):
+        # The promo sample's chain A is calibrated to inflate gapped
+        # work ~2.5x (DESIGN.md section 4).
+        seq = insert_poly_run(random_sequence(403, seed=20250705 + 31),
+                              "Q", 48, position=120)
+        prof = profile_sequence(seq)
+        assert 2.0 < prof.hit_inflation_factor < 3.2

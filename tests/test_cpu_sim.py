@@ -1,0 +1,215 @@
+"""CPU simulator unit tests (mechanisms, not full calibration)."""
+
+import pytest
+
+from repro.hardware.cpu import (
+    CpuSimulator,
+    RYZEN_7900X,
+    XEON_5416S,
+)
+from repro.trace import AccessPattern, OpRecord, Resource, WorkloadTrace
+
+MIB = 1024 ** 2
+
+
+def trace_of(*records):
+    return WorkloadTrace(records)
+
+
+def dp_record(ws=38 * MIB, pattern=AccessPattern.STRIDED, instr=1e12,
+              parallel=True, disk=0.0):
+    return OpRecord(
+        function="calc_band_9", phase="msa.align", instructions=instr,
+        bytes_read=instr * 2.0, bytes_written=instr * 0.8,
+        working_set_bytes=ws, pattern=pattern, parallel=parallel,
+        branch_rate=0.1, page_span_bytes=ws * 4, disk_bytes=disk,
+    )
+
+
+def stream_record(instr=1e11):
+    return OpRecord(
+        function="copy_to_iter", phase="msa.io", instructions=instr,
+        bytes_read=instr, bytes_written=instr, working_set_bytes=256 * 1024,
+        pattern=AccessPattern.SEQUENTIAL, parallel=True,
+        branch_rate=0.02, disk_bytes=instr,
+    )
+
+
+class TestSpecs:
+    def test_clock_degrades_with_threads(self):
+        assert XEON_5416S.clock_hz(1) > XEON_5416S.clock_hz(8)
+        assert XEON_5416S.clock_hz(1) == pytest.approx(4.0e9)
+
+    def test_invalid_threads(self):
+        with pytest.raises(ValueError):
+            XEON_5416S.clock_hz(0)
+
+    def test_table1_parameters(self):
+        assert XEON_5416S.cores == 16 and XEON_5416S.threads == 32
+        assert RYZEN_7900X.cores == 12 and RYZEN_7900X.threads == 24
+        assert XEON_5416S.llc_bytes == 30 * MIB
+        assert RYZEN_7900X.llc_bytes == 64 * MIB
+
+
+class TestSimulatorBasics:
+    def test_thread_bounds(self):
+        sim = CpuSimulator(XEON_5416S)
+        with pytest.raises(ValueError):
+            sim.simulate(trace_of(dp_record()), 0)
+        with pytest.raises(ValueError):
+            sim.simulate(trace_of(dp_record()), 64)
+
+    def test_gpu_records_ignored(self):
+        gpu_rec = OpRecord("kernel", "inf", instructions=1e12,
+                           resource=Resource.GPU)
+        sim = CpuSimulator(XEON_5416S)
+        report = sim.simulate(trace_of(gpu_rec, dp_record()), 1)
+        assert "kernel" not in report.functions
+
+    def test_serial_record_does_not_scale(self):
+        serial = dp_record(parallel=False)
+        sim = CpuSimulator(XEON_5416S)
+        t1 = sim.simulate(trace_of(serial), 1).seconds
+        t8 = sim.simulate(trace_of(serial), 8).seconds
+        assert t8 == pytest.approx(t1, rel=0.05)
+
+    def test_parallel_record_scales_near_ideal_at_2(self):
+        sim = CpuSimulator(XEON_5416S)
+        t1 = sim.simulate(trace_of(dp_record()), 1).seconds
+        t2 = sim.simulate(trace_of(dp_record()), 2).seconds
+        assert 1.7 < t1 / t2 < 2.05
+
+    def test_ipc_in_plausible_range(self):
+        sim = CpuSimulator(XEON_5416S)
+        report = sim.simulate(trace_of(dp_record()), 1)
+        assert 2.0 < report.ipc < 4.2
+
+
+class TestCacheMechanisms:
+    def test_intel_small_llc_always_over_capacity(self):
+        sim = CpuSimulator(XEON_5416S)
+        rate1 = sim._llc_miss_rate(dp_record(), 1)
+        rate6 = sim._llc_miss_rate(dp_record(), 6)
+        assert rate1 > 0.5
+        assert rate6 == pytest.approx(rate1, abs=0.05)  # flat
+
+    def test_amd_llc_knee(self):
+        sim = CpuSimulator(RYZEN_7900X)
+        rates = [sim._llc_miss_rate(dp_record(), t) for t in (1, 4, 6)]
+        assert rates[0] < 0.03
+        assert rates[1] < 0.15
+        assert rates[2] > 0.25  # capacity saturation
+
+    def test_sequential_prefetch_discount(self):
+        sim = CpuSimulator(XEON_5416S)
+        seq = dp_record(ws=60 * MIB, pattern=AccessPattern.SEQUENTIAL)
+        assert sim._llc_miss_rate(seq, 6) < sim._llc_miss_rate(seq, 1)
+
+    def test_cold_stream_is_llc_hostile_on_intel(self):
+        sim = CpuSimulator(XEON_5416S)
+        assert sim._llc_miss_rate(stream_record(), 1) > 0.5
+
+    def test_cold_stream_hidden_on_amd(self):
+        sim = CpuSimulator(RYZEN_7900X)
+        assert sim._llc_miss_rate(stream_record(), 1) < 0.05
+
+    def test_dtlb_vendor_asymmetry(self):
+        intel = CpuSimulator(XEON_5416S)._dtlb_rate(dp_record(), 4)
+        amd = CpuSimulator(RYZEN_7900X)._dtlb_rate(dp_record(), 4)
+        assert amd > 100 * intel
+
+
+class TestThreadScalingShape:
+    def test_degradation_beyond_six_threads(self):
+        # The paper's Fig 5 signature: time rises again at 8 threads.
+        sim = CpuSimulator(RYZEN_7900X)
+        trace = trace_of(dp_record(), stream_record())
+        times = {t: sim.simulate(trace, t).seconds for t in (1, 2, 4, 6, 8)}
+        assert times[2] < times[1]
+        assert times[8] > times[6]
+
+    def test_bandwidth_utilization_reported(self):
+        sim = CpuSimulator(RYZEN_7900X)
+        report = sim.simulate(trace_of(stream_record(instr=1e12)), 8)
+        assert 0.0 <= report.bandwidth_utilization <= 0.98
+
+
+class TestReportAggregation:
+    def test_function_metrics_present(self):
+        sim = CpuSimulator(XEON_5416S)
+        report = sim.simulate(trace_of(dp_record(), stream_record()), 2)
+        assert set(report.functions) == {"calc_band_9", "copy_to_iter"}
+
+    def test_cycle_share_sums_to_one(self):
+        sim = CpuSimulator(XEON_5416S)
+        report = sim.simulate(trace_of(dp_record(), stream_record()), 2)
+        total = sum(
+            report.cycle_share(fn) for fn in report.functions
+        )
+        assert total == pytest.approx(1.0)
+
+    def test_empty_trace(self):
+        sim = CpuSimulator(XEON_5416S)
+        report = sim.simulate(WorkloadTrace(), 2)
+        assert report.seconds == 0.0
+        assert report.ipc == 0.0
+
+
+class TestSimulatorInternals:
+    def test_cache_miss_rate_decays_on_amd(self):
+        sim = CpuSimulator(RYZEN_7900X)
+        r1 = sim._cache_miss_rate(dp_record(), 1)
+        r6 = sim._cache_miss_rate(dp_record(), 6)
+        assert r6 < r1  # the uProf counter falls with threads
+
+    def test_cache_miss_rate_grows_on_intel_strided(self):
+        sim = CpuSimulator(XEON_5416S)
+        r1 = sim._cache_miss_rate(dp_record(), 1)
+        r6 = sim._cache_miss_rate(dp_record(), 6)
+        assert r6 > 2.0 * r1
+
+    def test_sequential_cache_misses_flat_on_intel(self):
+        sim = CpuSimulator(XEON_5416S)
+        seq = dp_record(pattern=AccessPattern.SEQUENTIAL)
+        r1 = sim._cache_miss_rate(seq, 1)
+        r6 = sim._cache_miss_rate(seq, 6)
+        assert r6 == pytest.approx(r1, rel=0.1)
+
+    def test_clock_interpolation_bounds(self):
+        for spec in (XEON_5416S, RYZEN_7900X):
+            for t in range(1, spec.threads + 1):
+                hz = spec.clock_hz(t)
+                assert spec.allcore_clock_ghz * 1e9 <= hz
+                assert hz <= spec.max_clock_ghz * 1e9
+
+    def test_bandwidth_fixpoint_converges(self):
+        # The 3-iteration fixpoint must be stable: re-simulating gives
+        # identical results.
+        sim = CpuSimulator(RYZEN_7900X)
+        trace = trace_of(dp_record(), stream_record(instr=5e11))
+        a = sim.simulate(trace, 6)
+        b = sim.simulate(trace, 6)
+        assert a.seconds == b.seconds
+        assert a.bandwidth_utilization == b.bandwidth_utilization
+
+    def test_dtlb_span_factor(self):
+        sim = CpuSimulator(RYZEN_7900X)
+        small_span = dp_record()
+        small_span = OpRecord(
+            function="f", phase="p", instructions=1e9,
+            working_set_bytes=1 * MIB, pattern=AccessPattern.STRIDED,
+            page_span_bytes=1 * MIB,
+        )
+        big_span = OpRecord(
+            function="f", phase="p", instructions=1e9,
+            working_set_bytes=1 * MIB, pattern=AccessPattern.STRIDED,
+            page_span_bytes=512 * MIB,
+        )
+        assert sim._dtlb_rate(big_span, 1) > sim._dtlb_rate(small_span, 1)
+
+    def test_cold_stream_discount_improves_with_threads(self):
+        # copy_to_iter's LLC miss rate falls as threads add MLP --
+        # the Table IV mechanism.
+        sim = CpuSimulator(XEON_5416S)
+        rec = stream_record()
+        assert sim._llc_miss_rate(rec, 4) < sim._llc_miss_rate(rec, 1)

@@ -1,0 +1,116 @@
+"""DP kernel tests: exactness vs brute-force oracles, banding, scores."""
+
+import numpy as np
+import pytest
+
+from repro.msa.dp import (
+    KernelResult,
+    _band_mask,
+    calc_band_9,
+    calc_band_10,
+    effective_band,
+    msv_filter,
+    reference_forward,
+    reference_viterbi,
+)
+from repro.msa.profile_hmm import ProfileHMM, encode_sequence
+from repro.sequences.alphabets import MoleculeType
+from repro.sequences.generator import mutate_sequence, random_sequence
+
+
+def make_case(qlen=32, tlen=40, identity=0.8, seed=1):
+    query = random_sequence(qlen, seed=seed)
+    target = mutate_sequence(query, MoleculeType.PROTEIN, identity, seed=seed + 1)
+    target = target[:tlen] if len(target) > tlen else target
+    prof = ProfileHMM.from_query(query, MoleculeType.PROTEIN)
+    return prof, encode_sequence(target, MoleculeType.PROTEIN)
+
+
+class TestViterbiExactness:
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+    def test_unbanded_matches_reference(self, seed):
+        prof, enc = make_case(seed=seed)
+        ours = calc_band_9(prof, enc, band=1000).score
+        ref = reference_viterbi(prof, enc)
+        assert ours == pytest.approx(ref, abs=1e-9)
+
+    def test_banded_score_never_exceeds_unbanded(self):
+        prof, enc = make_case(qlen=40, tlen=60, identity=0.5, seed=9)
+        full = calc_band_9(prof, enc, band=1000).score
+        for band in (4, 8, 16, 32):
+            assert calc_band_9(prof, enc, band=band).score <= full + 1e-9
+
+    def test_banded_score_monotone_in_band(self):
+        prof, enc = make_case(qlen=40, tlen=60, identity=0.5, seed=11)
+        scores = [calc_band_9(prof, enc, band=b).score for b in (4, 8, 16, 64)]
+        assert scores == sorted(scores)
+
+
+class TestForwardExactness:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_unbanded_matches_reference(self, seed):
+        prof, enc = make_case(qlen=20, tlen=25, seed=seed)
+        ours = calc_band_10(prof, enc, band=1000).score
+        ref = reference_forward(prof, enc)
+        assert ours == pytest.approx(ref, rel=1e-6)
+
+    def test_forward_at_least_viterbi_match_path(self):
+        # Forward sums over paths (in the shared M/D state space), so
+        # it upper-bounds any single match-ending path's contribution.
+        prof, enc = make_case(seed=4)
+        fwd = calc_band_10(prof, enc, band=1000).score
+        vit = calc_band_9(prof, enc, band=1000).score
+        assert fwd > vit - 5.0  # same order of magnitude, usually above
+
+
+class TestMsvFilter:
+    def test_homolog_scores_much_higher_than_random(self):
+        query = random_sequence(60, seed=1)
+        prof = ProfileHMM.from_query(query, MoleculeType.PROTEIN)
+        hom = encode_sequence(
+            mutate_sequence(query, MoleculeType.PROTEIN, 0.8, seed=2),
+            MoleculeType.PROTEIN,
+        )
+        rand = encode_sequence(random_sequence(60, seed=3), MoleculeType.PROTEIN)
+        assert msv_filter(prof, hom).score > msv_filter(prof, rand).score + 20
+
+    def test_msv_upper_bounds_zero(self):
+        prof, enc = make_case(identity=0.0, seed=5)
+        assert msv_filter(prof, enc).score >= 0.0
+
+    def test_cells_counted(self):
+        prof, enc = make_case(qlen=10, tlen=15)
+        res = msv_filter(prof, enc)
+        assert res.cells == 10 * len(enc)
+
+
+class TestBanding:
+    def test_band_mask_shape_and_diagonal(self):
+        mask = _band_mask(10, 10, band=2)
+        assert mask.shape == (10, 10)
+        assert all(mask[i, i] for i in range(10))
+        assert not mask[0, 9]
+
+    def test_effective_band_clamps(self):
+        assert effective_band(10, 20, 1000) == 20
+        with pytest.raises(ValueError):
+            effective_band(10, 20, 0)
+
+    def test_banded_cells_fewer_than_full(self):
+        prof, enc = make_case(qlen=40, tlen=60)
+        banded = calc_band_9(prof, enc, band=8)
+        full = calc_band_9(prof, enc, band=1000)
+        assert banded.cells < full.cells
+
+    def test_empty_sequence(self):
+        prof, _ = make_case()
+        res = calc_band_9(prof, np.array([], dtype=np.int64))
+        assert res.score == 0.0
+        assert res.cells == 0
+
+
+class TestKernelResult:
+    def test_fields(self):
+        r = KernelResult(score=1.5, cells=100, band_width=8)
+        assert r.score == 1.5
+        assert r.band_width == 8

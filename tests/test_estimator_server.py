@@ -1,0 +1,183 @@
+"""Section VI feature tests: static estimator + persistent serving."""
+
+import pytest
+
+from repro.core.estimator import (
+    estimate,
+    estimate_msa_peak_bytes,
+    dominant_msa_chain,
+)
+from repro.core.server import (
+    DEFAULT_BUCKETS,
+    InferenceServer,
+    bucket_for,
+)
+from repro.hardware.memory import MemoryOutcome
+from repro.hardware.platform import DESKTOP, SERVER
+from repro.sequences import Assembly, Chain, MoleculeType
+from repro.sequences.builtin import get_sample
+from repro.sequences.generator import random_sequence
+
+GIB = 1024 ** 3
+
+
+def rna_assembly(rna_len: int) -> Assembly:
+    return Assembly(f"rna{rna_len}", [
+        Chain("A", MoleculeType.PROTEIN, random_sequence(200, seed=1)),
+        Chain("R", MoleculeType.RNA,
+              random_sequence(rna_len, MoleculeType.RNA, seed=2)),
+    ])
+
+
+class TestEstimator:
+    def test_rna_dominates_peak(self):
+        asm = rna_assembly(621)
+        assert estimate_msa_peak_bytes(asm, 8) / GIB == pytest.approx(
+            79.3, rel=1e-6
+        )
+        assert dominant_msa_chain(asm, 8) == "R"
+
+    def test_protein_only_peak_small(self):
+        asm = Assembly("p", [
+            Chain("A", MoleculeType.PROTEIN, random_sequence(1000, seed=3)),
+        ])
+        assert estimate_msa_peak_bytes(asm, 1) / GIB == pytest.approx(
+            0.23, abs=0.01
+        )
+
+    def test_verdicts_match_paper_events(self):
+        est = estimate(get_sample("6QNR").assembly)
+        by_name = {v.platform_name: v for v in est.verdicts}
+        assert by_name["Desktop"].msa_outcome is MemoryOutcome.OOM
+        assert by_name["Desktop-128G"].runnable
+        assert by_name["Server"].runnable
+        assert by_name["Desktop-128G"].gpu_needs_unified_memory
+
+    def test_warnings_issued(self):
+        est = estimate(rna_assembly(1335))
+        warnings = est.warnings()
+        assert any("refuse to launch" in w for w in warnings)
+        assert not est.safe_somewhere
+
+    def test_cxl_warning(self):
+        est = estimate(rna_assembly(935))
+        assert any("CXL" in w for w in warnings_text(est))
+
+    def test_render_contains_table(self):
+        out = estimate(get_sample("2PV7").assembly).render()
+        assert "Runnable" in out
+
+    def test_invalid_threads(self):
+        with pytest.raises(ValueError):
+            estimate(rna_assembly(300), threads=0)
+
+
+def warnings_text(est):
+    return est.warnings()
+
+
+class TestBuckets:
+    def test_bucket_rounding(self):
+        assert bucket_for(484) == 512
+        assert bucket_for(512) == 512
+        assert bucket_for(513) == 768
+        assert bucket_for(1395) == 1536
+
+    def test_too_large(self):
+        with pytest.raises(ValueError):
+            bucket_for(10_000)
+
+
+class TestInferenceServer:
+    def test_first_request_pays_cold_costs(self):
+        server = InferenceServer(SERVER)
+        r1 = server.submit(get_sample("2PV7"))
+        assert r1.init_seconds > 0
+        assert r1.compile_seconds > 0
+
+    def test_repeat_request_is_warm(self):
+        server = InferenceServer(SERVER)
+        r1 = server.submit(get_sample("2PV7"))
+        r2 = server.submit(get_sample("2PV7"))
+        assert r2.init_seconds == 0.0
+        assert r2.compile_seconds == 0.0
+        assert r2.latency_seconds < 0.5 * r1.latency_seconds
+
+    def test_new_bucket_recompiles_but_skips_init(self):
+        server = InferenceServer(SERVER)
+        server.submit(get_sample("2PV7"))      # bucket 512
+        r = server.submit(get_sample("promo"))  # bucket 1024
+        assert r.init_seconds == 0.0
+        assert r.compile_seconds > 0.0
+        assert server.warm_buckets == [512, 1024]
+
+    def test_same_bucket_shares_executable(self):
+        server = InferenceServer(SERVER)
+        server.submit(get_sample("promo"))      # 857 -> bucket 1024
+        r = server.submit(get_sample("1YY9"))   # 881 -> bucket 1024
+        assert r.compile_seconds == 0.0
+
+    def test_speedup_over_cold_deployment(self):
+        server = InferenceServer(SERVER)
+        for _ in range(5):
+            server.submit(get_sample("2PV7"))
+        # Five identical small requests: the warm server amortises the
+        # Server's dominant init+XLA overheads (paper: >75% of time).
+        assert server.speedup_over_cold() > 2.0
+
+    def test_speedup_requires_history(self):
+        with pytest.raises(ValueError):
+            InferenceServer(SERVER).speedup_over_cold()
+
+    def test_padding_cost_visible(self):
+        # A 513-token input pads to 768: compute exceeds a 512 run.
+        server = InferenceServer(DESKTOP)
+        small = Assembly("s", [
+            Chain("A", MoleculeType.PROTEIN, random_sequence(500, seed=5)),
+        ])
+        big = Assembly("b", [
+            Chain("A", MoleculeType.PROTEIN, random_sequence(600, seed=6)),
+        ])
+        from repro.sequences.sample import ComplexityClass, InputSample
+
+        s_small = InputSample("s", small, ComplexityClass.LOW, "t")
+        s_big = InputSample("b", big, ComplexityClass.LOW, "t")
+        r_small = server.submit(s_small)
+        r_big = server.submit(s_big)
+        assert r_small.bucket == 512 and r_big.bucket == 768
+        assert r_big.compute_seconds > r_small.compute_seconds
+
+
+class TestRecycling:
+    def test_recycles_scale_trunk_flops(self):
+        import numpy as np
+        from repro.model import AlphaFold3Model, ModelConfig
+
+        model = AlphaFold3Model(ModelConfig.tiny(), seed=2)
+        tokens = np.arange(10) % 20
+        one = model.predict(tokens, num_recycles=1)
+        three = model.predict(tokens, num_recycles=3)
+        pf = lambda p: sum(
+            c.flops for s, c in p.counter.costs.items()
+            if s.startswith("pairformer.")
+        )
+        assert pf(three) == pytest.approx(3 * pf(one))
+        assert "recycling.embed" in three.counter.costs
+
+    def test_recycling_changes_output(self):
+        import numpy as np
+        from repro.model import AlphaFold3Model, ModelConfig
+
+        model = AlphaFold3Model(ModelConfig.tiny(), seed=2)
+        tokens = np.arange(10) % 20
+        one = model.predict(tokens, num_recycles=1)
+        two = model.predict(tokens, num_recycles=2)
+        assert not np.allclose(one.pair, two.pair)
+
+    def test_invalid_recycles(self):
+        import numpy as np
+        from repro.model import AlphaFold3Model, ModelConfig
+
+        model = AlphaFold3Model(ModelConfig.tiny(), seed=2)
+        with pytest.raises(ValueError):
+            model.predict(np.arange(4), num_recycles=0)

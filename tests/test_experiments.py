@@ -1,0 +1,185 @@
+"""Experiment drivers: every paper artifact renders with the right
+content and shape."""
+
+import pytest
+
+from repro.core.suite import AfSysBench
+from repro.experiments import (
+    fig2_rna_memory,
+    fig5_6qnr_scaling,
+    fig7_phase_ratio,
+    fig8_gpu_breakdown,
+    fig9_layer_breakdown,
+    table1_platforms,
+    table2_samples,
+    table3_cpu_metrics,
+    table4_function_profile,
+    table5_inference_bottlenecks,
+    table6_layer_times,
+)
+from repro.hardware.memory import MemoryOutcome
+
+
+class TestCheapArtifacts:
+    def test_table1(self):
+        out = table1_platforms.render()
+        assert "Xeon" in out and "Ryzen" in out
+        assert "H100" in out and "RTX 4080" in out
+
+    def test_table2(self, runner):
+        out = table2_samples.render(runner)
+        for name in ("2PV7", "7RCE", "1YY9", "promo", "6QNR"):
+            assert name in out
+
+    def test_fig2_outcomes(self, runner):
+        rows = fig2_rna_memory.sweep()
+        by_len = {r["rna_length"]: r for r in rows}
+        assert by_len[621]["outcome"] is MemoryOutcome.FITS_DRAM
+        assert by_len[935]["outcome"] is MemoryOutcome.FITS_WITH_CXL
+        assert by_len[1135]["outcome"] is MemoryOutcome.FITS_WITH_CXL
+        assert by_len[1335]["outcome"] is MemoryOutcome.OOM
+
+    def test_fig2_matches_paper_anchors(self):
+        for row in fig2_rna_memory.sweep():
+            paper = row["paper_gib"]
+            if paper is not None:
+                assert row["peak_gib"] == pytest.approx(paper, rel=1e-6)
+
+    def test_table5_within_a_point_of_paper(self, runner):
+        out = table5_inference_bottlenecks.render(runner)
+        assert "_M_fill_insert" in out
+        assert "ByteSizeOf" in out
+
+    def test_table6_layer_rows(self, runner):
+        out = table6_layer_times.render(runner)
+        assert "triangle attention" in out
+        assert "global attention" in out
+
+    def test_fig9_sections(self, runner):
+        out = fig9_layer_breakdown.render(runner)
+        assert "Pairformer block" in out and "Diffusion step" in out
+
+    def test_fig8_stacked(self, runner):
+        out = fig8_gpu_breakdown.render(runner)
+        assert "gpu_compute" in out
+        assert "2PV7/Server" in out
+
+
+class TestSweepArtifacts:
+    def test_fig5_shape(self, runner):
+        times, speedups = fig5_6qnr_scaling.collect(runner, "Desktop")
+        assert speedups[1] == 1.0
+        assert 1.7 < speedups[2] < 2.05          # near-ideal at 2T
+        assert speedups[4] > 2.5                 # diminishing returns
+        assert speedups[8] < speedups[6]         # degradation at 8T
+
+    def test_fig7_msa_dominates(self, runner):
+        data = fig7_phase_ratio.collect(runner)
+        for (sample, platform), values in data.items():
+            assert values["msa_pct"] > 50.0, (sample, platform)
+        # Server's complex samples exceed 90%.
+        assert data[("promo", "Server")]["msa_pct"] > 90.0
+
+    def test_table3_renders_with_paper_refs(self, runner):
+        out = table3_cpu_metrics.render(runner)
+        assert "IPC" in out and "dTLB" in out and "(3.68)" in out
+
+    def test_table4_function_rows(self, runner):
+        out = table4_function_profile.render(runner)
+        for fn in ("calc_band_9", "calc_band_10", "addbuf", "copy_to_iter"):
+            assert fn in out
+
+
+class TestSuiteFacade:
+    def test_dispatch_unknown(self, runner):
+        bench = AfSysBench(runner)
+        with pytest.raises(KeyError):
+            bench.table(9)
+
+    def test_table_and_figure_dispatch(self, runner):
+        bench = AfSysBench(runner)
+        assert "Hardware" in bench.table(1)
+        assert "RNA" in bench.figure(2)
+
+
+class TestSection6Driver:
+    def test_renders_all_three_proposals(self, runner):
+        from repro.experiments import section6_optimizations
+
+        out = section6_optimizations.render(runner)
+        assert "Static memory estimation" in out
+        assert "Persistent model state" in out
+        assert "preloading" in out
+        assert "doomed run" in out
+
+    def test_server_speedup_positive(self, runner):
+        from repro.core.server import InferenceServer
+        from repro.hardware.platform import SERVER
+        from repro.sequences.builtin import get_sample
+
+        server = InferenceServer(SERVER)
+        for _ in range(4):
+            server.submit(get_sample("2PV7"))
+        assert server.speedup_over_cold() > 1.5
+
+    def test_suite_exposes_section6(self, runner):
+        from repro.core.suite import AfSysBench
+
+        out = AfSysBench(runner)._dispatch("section6")
+        assert "Section VI" in out
+
+
+class TestExtensionDrivers:
+    def test_whatif_cpu_variants(self, runner):
+        from repro.experiments.whatif_architectures import (
+            XEON_BIG_LLC,
+            cpu_whatif,
+        )
+
+        times = cpu_whatif(runner)
+        # A 64 MiB LLC on the Xeon must help (2PV7's working set
+        # saturates the stock 30 MiB at 4 threads).
+        assert times[XEON_BIG_LLC.name] < times["Intel Xeon Gold 5416S"]
+        # And the Ryzen's clock advantage persists regardless.
+        assert times["AMD Ryzen 9 7900X"] < times["Intel Xeon Gold 5416S"]
+
+    def test_whatif_gpu_pairings(self, runner):
+        from repro.experiments.whatif_architectures import gpu_whatif
+
+        times = gpu_whatif(runner)
+        assert len(times) == 4
+        # H100 pairings beat RTX pairings for promo-sized inputs.
+        assert times["Xeon host + H100"] < times["Xeon host + RTX"]
+        assert times["Ryzen host + H100"] < times["Ryzen host + RTX"]
+
+    def test_whatif_renders(self, runner):
+        from repro.experiments import whatif_architectures
+
+        out = whatif_architectures.render(runner)
+        assert "What-if" in out and "64MiB LLC" in out
+
+    def test_scaling_study_monotone(self, runner):
+        from repro.experiments.scaling_study import collect
+
+        rows = collect(runner, lengths=(128, 512))
+        server = {
+            r["length"]: r for r in rows if r["platform"] == "Server"
+        }
+        assert server[512]["msa_seconds"] > server[128]["msa_seconds"]
+        assert server[512]["gpu_demand_gib"] > server[128]["gpu_demand_gib"]
+
+    def test_scaling_gpu_memory_quadratic(self, runner):
+        from repro.experiments.scaling_study import collect
+
+        rows = collect(runner, lengths=(256, 1024))
+        by_len = {
+            r["length"]: r for r in rows if r["platform"] == "Server"
+        }
+        ratio = by_len[1024]["gpu_demand_gib"] / by_len[256]["gpu_demand_gib"]
+        assert ratio > 6.0  # ~quadratic (16x activations + fixed weights)
+
+    def test_scaling_renders(self, runner):
+        from repro.experiments import scaling_study
+
+        out = scaling_study.render(runner)
+        assert "Scaling study" in out

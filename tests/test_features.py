@@ -1,0 +1,116 @@
+"""MSA feature tensor tests."""
+
+import numpy as np
+import pytest
+
+from repro.msa.aligner import Msa
+from repro.msa.features import (
+    FEATURE_ALPHABET,
+    FEATURE_DIM,
+    build_assembly_features,
+    encode_residue,
+    featurize_msa,
+)
+from repro.sequences.alphabets import MoleculeType
+
+
+def simple_msa():
+    return Msa(
+        query_name="q",
+        molecule_type=MoleculeType.PROTEIN,
+        rows=("MKT", "MAT", "M-T"),
+        row_names=("q", "h1", "h2"),
+    )
+
+
+class TestEncoding:
+    def test_alphabet_covers_all_polymers(self):
+        # 20 aa + U (RNA) + gap + unknown = 23.
+        assert FEATURE_DIM == 23
+        for ch in "ACDEFGHIKLMNPQRSTVWYU-":
+            assert ch in FEATURE_ALPHABET
+
+    def test_unknown_maps_to_x(self):
+        assert encode_residue("Z") == encode_residue("X")
+
+    def test_distinct_classes(self):
+        assert encode_residue("A") != encode_residue("C")
+        assert encode_residue("-") != encode_residue("A")
+
+
+class TestFeaturizeMsa:
+    def test_onehot_shape_and_validity(self):
+        f = featurize_msa("A", simple_msa())
+        assert f.msa_onehot.shape == (3, 3, FEATURE_DIM)
+        assert np.allclose(f.msa_onehot.sum(axis=-1), 1.0)
+
+    def test_profile_is_column_mean(self):
+        f = featurize_msa("A", simple_msa())
+        assert np.allclose(f.profile, f.msa_onehot.mean(axis=0))
+
+    def test_deletion_mean(self):
+        f = featurize_msa("A", simple_msa())
+        assert f.deletion_mean[1] == pytest.approx(1 / 3)
+        assert f.deletion_mean[0] == 0.0
+
+    def test_nbytes_positive(self):
+        assert featurize_msa("A", simple_msa()).nbytes > 0
+
+
+class TestAssemblyFeatures:
+    def test_tokens_cover_all_copies(self):
+        chains = [("A", MoleculeType.PROTEIN, "MKT", 2),
+                  ("B", MoleculeType.DNA, "ACGT", 1)]
+        feats = build_assembly_features("x", chains, {"A": simple_msa()})
+        assert feats.num_tokens == 10  # 2*3 + 4
+
+    def test_dna_gets_trivial_msa(self):
+        chains = [("B", MoleculeType.DNA, "ACGT", 1)]
+        feats = build_assembly_features("x", chains, {})
+        assert feats.chain_features["B"].depth == 1
+
+    def test_chain_boundaries(self):
+        chains = [("A", MoleculeType.PROTEIN, "MKT", 2)]
+        feats = build_assembly_features("x", chains, {"A": simple_msa()})
+        assert feats.chain_boundaries["A"] == ((0, 3), (3, 6))
+
+    def test_max_msa_depth(self):
+        chains = [("A", MoleculeType.PROTEIN, "MKT", 1),
+                  ("B", MoleculeType.DNA, "ACGT", 1)]
+        feats = build_assembly_features("x", chains, {"A": simple_msa()})
+        assert feats.max_msa_depth == 3
+
+    def test_token_classes_in_range(self):
+        chains = [("A", MoleculeType.PROTEIN, "MKT", 1)]
+        feats = build_assembly_features("x", chains, {})
+        assert feats.token_classes.min() >= 0
+        assert feats.token_classes.max() < FEATURE_DIM
+
+
+class TestPairedAssemblyFeatures:
+    def test_paired_block_spans_searched_chains(self):
+        from repro.msa.aligner import Msa
+        from repro.msa.features import build_paired_assembly_features
+
+        msas = {
+            "A": Msa("A", MoleculeType.PROTEIN, ("MKT", "MAT"),
+                     ("A", "uniref_h1")),
+            "B": Msa("B", MoleculeType.PROTEIN, ("CCC", "CAC"),
+                     ("B", "uniref_h2")),
+        }
+        chains = [("A", MoleculeType.PROTEIN, "MKT", 1),
+                  ("B", MoleculeType.PROTEIN, "CCC", 1)]
+        feats = build_paired_assembly_features("x", chains, msas)
+        assembly_block = feats.chain_features["__assembly__"]
+        assert assembly_block.width == 6  # both chains concatenated
+        assert assembly_block.depth >= 1
+        # Per-chain features are still present.
+        assert feats.chain_features["A"].width == 3
+
+    def test_no_msas_falls_back(self):
+        from repro.msa.features import build_paired_assembly_features
+
+        chains = [("B", MoleculeType.DNA, "ACGT", 1)]
+        feats = build_paired_assembly_features("x", chains, {})
+        assert "__assembly__" not in feats.chain_features
+

@@ -1,0 +1,213 @@
+"""File-format tests: FASTA / A3M / Stockholm / PDB output."""
+
+import numpy as np
+import pytest
+
+from repro.model import AlphaFold3Model, ModelConfig
+from repro.model.pdb import parse_pdb_atoms, write_pdb
+from repro.msa.aligner import Msa
+from repro.msa.formats import (
+    FormatError,
+    parse_a3m,
+    parse_fasta,
+    parse_stockholm,
+    write_a3m,
+    write_fasta,
+    write_stockholm,
+)
+from repro.sequences import Assembly, Chain, MoleculeType
+from repro.sequences.generator import random_sequence
+
+
+def sample_msa():
+    return Msa(
+        query_name="query",
+        molecule_type=MoleculeType.PROTEIN,
+        rows=("MKTAYI", "MKT-YI", "MATAYI"),
+        row_names=("query", "hit1", "hit2"),
+    )
+
+
+class TestFasta:
+    def test_roundtrip(self):
+        records = [("a", "MKT"), ("b", random_sequence(150, seed=1))]
+        assert parse_fasta(write_fasta(records)) == records
+
+    def test_long_sequences_wrapped(self):
+        text = write_fasta([("a", "M" * 200)])
+        assert max(len(line) for line in text.splitlines()) <= 60
+
+    def test_header_only_name_token(self):
+        records = parse_fasta(">seq1 description here\nMKT\n")
+        assert records == [("seq1", "MKT")]
+
+    def test_empty_header_rejected(self):
+        with pytest.raises(FormatError):
+            parse_fasta(">\nMKT\n")
+
+    def test_data_before_header_rejected(self):
+        with pytest.raises(FormatError):
+            parse_fasta("MKT\n>seq\nAAA\n")
+
+    def test_empty_record_rejected(self):
+        with pytest.raises(FormatError):
+            parse_fasta(">a\n>b\nMKT\n")
+        with pytest.raises(FormatError):
+            write_fasta([("a", "")])
+
+    def test_blank_lines_ignored(self):
+        records = parse_fasta("\n>a\n\nMK\nT\n\n")
+        assert records == [("a", "MKT")]
+
+
+class TestA3m:
+    def test_roundtrip(self):
+        msa = sample_msa()
+        again = parse_a3m(write_a3m(msa))
+        assert again.rows == msa.rows
+        assert again.row_names == msa.row_names
+
+    def test_lowercase_insertions_removed(self):
+        text = ">q\nMKT\n>h\nMaKT\n"
+        msa = parse_a3m(text)
+        assert msa.rows[1] == "MKT"
+
+    def test_ragged_rejected(self):
+        with pytest.raises(FormatError):
+            parse_a3m(">q\nMKT\n>h\nMKTA\n")
+
+    def test_empty_rejected(self):
+        with pytest.raises(FormatError):
+            parse_a3m("")
+
+
+class TestStockholm:
+    def test_roundtrip(self):
+        msa = sample_msa()
+        again = parse_stockholm(write_stockholm(msa))
+        assert again.rows == msa.rows
+        assert again.row_names == msa.row_names
+
+    def test_header_required(self):
+        with pytest.raises(FormatError):
+            parse_stockholm("query MKT\n//\n")
+
+    def test_multiline_blocks_concatenate(self):
+        text = "# STOCKHOLM 1.0\n\nq MKT\nh M-T\nq AYI\nh AYI\n//\n"
+        msa = parse_stockholm(text)
+        assert msa.rows == ("MKTAYI", "M-TAYI")
+
+    def test_gc_lines_skipped(self):
+        text = "# STOCKHOLM 1.0\n#=GC RF xxx\nq MKT\n//\n"
+        assert parse_stockholm(text).rows == ("MKT",)
+
+    def test_ragged_rejected(self):
+        with pytest.raises(FormatError):
+            parse_stockholm("# STOCKHOLM 1.0\nq MKT\nh MK\n//\n")
+
+
+class TestPdbOutput:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        cfg = ModelConfig.tiny()
+        model = AlphaFold3Model(cfg, seed=3)
+        assembly = Assembly("demo", [
+            Chain("A", MoleculeType.PROTEIN, "MKTAY"),
+            Chain("B", MoleculeType.PROTEIN, "QRW"),
+        ])
+        tokens = np.array([
+            *(0 for _ in "MKTAY"), *(0 for _ in "QRW")
+        ])
+        prediction = model.predict(tokens, num_diffusion_steps=2)
+        return cfg, model, assembly, prediction
+
+    def test_coordinates_roundtrip(self, setup):
+        cfg, _, assembly, prediction = setup
+        text = write_pdb(prediction, assembly, cfg)
+        coords = parse_pdb_atoms(text)
+        assert coords.shape == prediction.coords.shape
+        assert np.allclose(coords, np.round(prediction.coords, 3))
+
+    def test_chain_structure(self, setup):
+        cfg, _, assembly, prediction = setup
+        text = write_pdb(prediction, assembly, cfg)
+        assert text.count("TER") == 2
+        chain_ids = {
+            line[21] for line in text.splitlines() if line.startswith("ATOM")
+        }
+        assert chain_ids == {"A", "B"}
+
+    def test_plddt_in_bfactor(self, setup):
+        cfg, _, assembly, prediction = setup
+        text = write_pdb(prediction, assembly, cfg)
+        first_atom = next(
+            l for l in text.splitlines() if l.startswith("ATOM")
+        )
+        bfactor = float(first_atom[60:66])
+        assert bfactor == pytest.approx(prediction.confidence.plddt[0],
+                                        abs=0.01)
+
+    def test_atom_count_validation(self, setup):
+        cfg, model, assembly, prediction = setup
+        wrong = Assembly("other", [
+            Chain("A", MoleculeType.PROTEIN, "MKTAYIIIW"),  # 9 != 8 tokens
+        ])
+        with pytest.raises(ValueError):
+            write_pdb(prediction, wrong, cfg)
+
+    def test_homomultimer_chain_letters(self):
+        cfg = ModelConfig.tiny()
+        model = AlphaFold3Model(cfg, seed=4)
+        assembly = Assembly("dimer", [
+            Chain("A", MoleculeType.PROTEIN, "MKT", copies=2),
+        ])
+        prediction = model.predict(np.zeros(6, dtype=int),
+                                   num_diffusion_steps=2)
+        text = write_pdb(prediction, assembly, cfg)
+        chain_ids = {
+            line[21] for line in text.splitlines() if line.startswith("ATOM")
+        }
+        assert len(chain_ids) == 2
+
+
+class TestPredictRanked:
+    def test_ranked_by_confidence_then_compactness(self):
+        model = AlphaFold3Model(ModelConfig.tiny(), seed=5)
+        ranked = model.predict_ranked(
+            np.arange(8) % 20, num_samples=3, num_diffusion_steps=2
+        )
+        assert len(ranked) == 3
+        ptms = [p.confidence.ptm for p in ranked]
+        assert ptms == sorted(ptms, reverse=True)
+        # Distinct noise seeds -> distinct structures.
+        assert not np.allclose(ranked[0].coords, ranked[1].coords)
+
+    def test_invalid_num_samples(self):
+        model = AlphaFold3Model(ModelConfig.tiny(), seed=5)
+        with pytest.raises(ValueError):
+            model.predict_ranked(np.arange(4), num_samples=0)
+
+
+class TestRunRepeated:
+    def test_cv_within_paper_bounds(self, runner, samples):
+        from repro.core.results import coefficient_of_variation
+
+        records = runner.run_repeated(
+            samples["7RCE"], runner.platforms[0], threads=2, repeats=5
+        )
+        msa_cv = coefficient_of_variation([r.msa_seconds for r in records])
+        inf_cv = coefficient_of_variation(
+            [r.inference_seconds for r in records]
+        )
+        assert msa_cv <= 0.05   # paper: MSA CV <= 5%
+        assert inf_cv <= 0.01   # paper: inference CV <= 1%
+
+    def test_deterministic_noise(self, runner, samples):
+        a = runner.run_repeated(samples["7RCE"], runner.platforms[0], 2)
+        b = runner.run_repeated(samples["7RCE"], runner.platforms[0], 2)
+        assert [r.msa_seconds for r in a] == [r.msa_seconds for r in b]
+
+    def test_invalid_repeats(self, runner, samples):
+        with pytest.raises(ValueError):
+            runner.run_repeated(samples["7RCE"], runner.platforms[0], 2,
+                                repeats=0)

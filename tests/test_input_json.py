@@ -1,0 +1,115 @@
+"""Unit tests for the AF3 JSON input format."""
+
+import json
+
+import pytest
+
+from repro.sequences.alphabets import MoleculeType
+from repro.sequences.chain import Assembly, Chain
+from repro.sequences.input_json import (
+    InputFormatError,
+    parse_document,
+    parse_json,
+    to_document,
+    to_json,
+)
+
+VALID = {
+    "name": "2PV7",
+    "modelSeeds": [1],
+    "sequences": [
+        {"protein": {"id": ["A", "B"], "sequence": "MKTAYIAK"}},
+        {"dna": {"id": "C", "sequence": "ACGT"}},
+    ],
+}
+
+
+class TestParse:
+    def test_valid_document(self):
+        asm = parse_document(VALID)
+        assert asm.name == "2PV7"
+        assert asm.total_residues == 20  # 2x8 + 4
+        assert asm.chains[0].copies == 2
+
+    def test_parse_json_roundtrip_string(self):
+        asm = parse_json(json.dumps(VALID))
+        assert asm.name == "2PV7"
+
+    def test_ligand_entry(self):
+        doc = {
+            "name": "x",
+            "sequences": [
+                {"protein": {"id": "A", "sequence": "MK"}},
+                {"ligand": {"id": "L"}},
+            ],
+        }
+        asm = parse_document(doc)
+        assert asm.chains[1].molecule_type is MoleculeType.LIGAND
+
+    def test_missing_name(self):
+        with pytest.raises(InputFormatError, match="name"):
+            parse_document({"sequences": VALID["sequences"]})
+
+    def test_missing_sequences(self):
+        with pytest.raises(InputFormatError, match="sequences"):
+            parse_document({"name": "x"})
+
+    def test_unknown_entity(self):
+        doc = {"name": "x", "sequences": [{"carbohydrate": {"id": "A"}}]}
+        with pytest.raises(InputFormatError, match="unknown entity"):
+            parse_document(doc)
+
+    def test_polymer_without_sequence(self):
+        doc = {"name": "x", "sequences": [{"protein": {"id": "A"}}]}
+        with pytest.raises(InputFormatError, match="sequence"):
+            parse_document(doc)
+
+    def test_bad_chain_ids(self):
+        doc = {"name": "x", "sequences": [{"protein": {"id": 5, "sequence": "MK"}}]}
+        with pytest.raises(InputFormatError, match="chain id"):
+            parse_document(doc)
+
+    def test_invalid_residues_reported(self):
+        doc = {"name": "x", "sequences": [{"protein": {"id": "A", "sequence": "M!"}}]}
+        with pytest.raises(InputFormatError):
+            parse_document(doc)
+
+    def test_malformed_json(self):
+        with pytest.raises(InputFormatError, match="invalid JSON"):
+            parse_json("{not json")
+
+    def test_multi_key_entry_rejected(self):
+        doc = {
+            "name": "x",
+            "sequences": [
+                {"protein": {"id": "A", "sequence": "MK"},
+                 "dna": {"id": "B", "sequence": "ACGT"}}
+            ],
+        }
+        with pytest.raises(InputFormatError, match="exactly one"):
+            parse_document(doc)
+
+
+class TestSerialise:
+    def test_roundtrip(self):
+        asm = parse_document(VALID)
+        again = parse_json(to_json(asm))
+        assert again.name == asm.name
+        assert again.total_residues == asm.total_residues
+        assert [c.molecule_type for c in again] == [c.molecule_type for c in asm]
+
+    def test_homomultimer_ids_expanded(self):
+        asm = Assembly(
+            "x", [Chain("A", MoleculeType.PROTEIN, "MKT", copies=3)]
+        )
+        doc = to_document(asm)
+        ids = doc["sequences"][0]["protein"]["id"]
+        assert len(ids) == 3
+        assert len(set(ids)) == 3
+
+    def test_builtin_samples_roundtrip(self):
+        from repro.sequences.builtin import builtin_samples
+
+        for sample in builtin_samples().values():
+            again = parse_json(to_json(sample.assembly))
+            assert again.total_residues == sample.assembly.total_residues

@@ -1,0 +1,123 @@
+"""jackhmmer cascade tests: recall, filtering, trace shape, inflation."""
+
+import pytest
+
+from repro.msa.database import UNIREF90, build_database
+from repro.msa.jackhmmer import JackhmmerSearch, SearchConfig
+from repro.sequences.alphabets import MoleculeType
+from repro.sequences.generator import insert_poly_run, random_sequence
+
+
+@pytest.fixture(scope="module")
+def query():
+    return random_sequence(120, seed=11)
+
+
+@pytest.fixture(scope="module")
+def database(query):
+    return build_database(
+        UNIREF90, [query], num_background=40, homologs_per_query=8, seed=12
+    )
+
+
+@pytest.fixture(scope="module")
+def result(query, database):
+    return JackhmmerSearch(database, SearchConfig(iterations=1)).search(
+        "q", query
+    )
+
+
+class TestSearchConfig:
+    def test_threshold_ordering_enforced(self):
+        with pytest.raises(ValueError, match="tighten"):
+            SearchConfig(msv_evalue=1.0, viterbi_evalue=10.0)
+
+    def test_iterations_validated(self):
+        with pytest.raises(ValueError):
+            SearchConfig(iterations=0)
+
+
+class TestCascade:
+    def test_recovers_planted_homologs(self, result):
+        planted = [h for h in result.hits if "_q0h" in h.target_name]
+        assert len(planted) >= 6  # most of the 8 planted homologs
+
+    def test_no_random_false_positives(self, result):
+        false_hits = [h for h in result.hits if "_bg" in h.target_name]
+        # Tight final E-value keeps chance background hits near zero.
+        assert len(false_hits) <= 2
+
+    def test_cascade_narrows(self, result):
+        s = result.stats
+        assert s.msv.candidates >= s.viterbi.candidates >= s.forward.candidates
+        assert s.msv.candidates == 48  # whole database scanned
+
+    def test_hits_sorted_by_evalue(self, result):
+        evalues = [h.evalue for h in result.hits]
+        assert evalues == sorted(evalues)
+
+    def test_hit_scores_consistent(self, result):
+        for hit in result.hits:
+            assert hit.evalue <= SearchConfig().final_evalue
+
+    def test_wrong_molecule_type_rejected(self, query):
+        from repro.msa.database import RFAM
+
+        rna_db = build_database(RFAM, [], num_background=5, seed=1)
+        with pytest.raises(ValueError, match="protein"):
+            JackhmmerSearch(rna_db)
+
+
+class TestTraceEmission:
+    def test_expected_functions(self, result):
+        functions = set(result.trace.function_shares())
+        assert {
+            "copy_to_iter", "addbuf", "seebuf", "msv_filter",
+            "calc_band_9", "calc_band_10", "hit_postprocess",
+        } <= functions
+
+    def test_dp_kernels_dominate_instructions(self, result):
+        shares = result.trace.function_shares()
+        dp = shares["calc_band_9"] + shares["calc_band_10"]
+        assert dp > 0.3
+
+    def test_hit_postprocess_is_serial(self, result):
+        grouped = result.trace.by_function()
+        assert grouped["hit_postprocess"].parallel is False
+        assert grouped["calc_band_9"].parallel is True
+
+    def test_paper_scale_extrapolation(self, result, database):
+        # Traced MSV instructions reflect the paper-scale DB, not the
+        # synthetic one.
+        grouped = result.trace.by_function()
+        synthetic_cells = result.stats.msv.cells
+        assert grouped["msv_filter"].instructions == pytest.approx(
+            synthetic_cells * database.scale_factor * 0.2, rel=1e-6
+        )
+
+
+class TestInflation:
+    def test_polyq_query_does_more_gapped_work(self):
+        base = random_sequence(150, seed=21)
+        polyq = insert_poly_run(base, "Q", 45, position=40)
+        db = build_database(
+            UNIREF90, [base, polyq], num_background=40,
+            homologs_per_query=6, low_complexity_fraction=0.15, seed=22,
+        )
+        cfg = SearchConfig(iterations=1)
+        r_base = JackhmmerSearch(db, cfg).search("base", base)
+        r_polyq = JackhmmerSearch(db, cfg).search("polyq", polyq)
+        assert r_polyq.stats.inflation_factor > r_base.stats.inflation_factor
+        band9_base = r_base.trace.by_function()["calc_band_9"].instructions
+        band9_polyq = r_polyq.trace.by_function()["calc_band_9"].instructions
+        assert band9_polyq > band9_base
+
+    def test_iterations_accumulate_work(self, query, database):
+        one = JackhmmerSearch(database, SearchConfig(iterations=1)).search(
+            "q", query
+        )
+        two = JackhmmerSearch(database, SearchConfig(iterations=2)).search(
+            "q", query
+        )
+        assert two.trace.total_instructions() > 1.5 * one.trace.total_instructions()
+        assert two.stats.iterations == 2

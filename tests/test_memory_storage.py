@@ -1,0 +1,111 @@
+"""Memory-capacity and storage-model tests."""
+
+import pytest
+
+from repro.hardware.memory import (
+    DESKTOP_MEMORY,
+    DESKTOP_MEMORY_UPGRADED,
+    MemoryOutcome,
+    MemorySpec,
+    OutOfMemoryError,
+    SERVER_MEMORY,
+)
+from repro.hardware.storage import (
+    IostatReport,
+    NVME_PCIE4,
+    PageCacheModel,
+    simulate_iostat,
+)
+
+GIB = 1024 ** 3
+
+
+class TestMemorySpec:
+    def test_fits_dram(self):
+        assert SERVER_MEMORY.check(100 * GIB) is MemoryOutcome.FITS_DRAM
+
+    def test_needs_cxl(self):
+        # 506 GiB (the 935-nt RNA point) needs the expander.
+        assert SERVER_MEMORY.check(506 * GIB) is MemoryOutcome.FITS_WITH_CXL
+
+    def test_oom_past_cxl(self):
+        # 902 GiB (the 1,335-nt point) exceeds 768 GiB total.
+        assert SERVER_MEMORY.check(902 * GIB) is MemoryOutcome.OOM
+
+    def test_desktop_has_no_cxl_fallback(self):
+        assert DESKTOP_MEMORY.check(97 * GIB) is MemoryOutcome.OOM
+
+    def test_desktop_upgrade_fixes_6qnr(self):
+        assert DESKTOP_MEMORY_UPGRADED.check(97 * GIB) is MemoryOutcome.FITS_DRAM
+
+    def test_os_reservation(self):
+        # 94% usable: 63 GiB demand on a 64 GiB box does NOT fit.
+        assert DESKTOP_MEMORY.check(63 * GIB) is MemoryOutcome.OOM
+
+    def test_negative_peak_rejected(self):
+        with pytest.raises(ValueError):
+            SERVER_MEMORY.check(-1)
+
+    def test_invalid_spec(self):
+        with pytest.raises(ValueError):
+            MemorySpec(dram_bytes=0)
+
+    def test_page_cache_accounting(self):
+        free = DESKTOP_MEMORY.page_cache_bytes(10 * GIB)
+        assert 0 < free < 64 * GIB
+
+    def test_oom_error_message(self):
+        err = OutOfMemoryError("msa", 97 * GIB, DESKTOP_MEMORY)
+        assert "97.0 GiB" in str(err)
+        assert err.phase == "msa"
+
+
+class TestPageCache:
+    def test_cached_db_reads_nothing_warm(self):
+        cache = PageCacheModel(page_cache_bytes=400 * GIB)
+        cold = cache.cold_bytes([200 * GIB], [5], warm_start=True)
+        assert cold == pytest.approx(0.01 * 200 * GIB * 5)  # residual only
+
+    def test_cold_start_reads_once(self):
+        cache = PageCacheModel(page_cache_bytes=400 * GIB)
+        cold = cache.cold_bytes([200 * GIB], [5], warm_start=False)
+        assert cold >= 200 * GIB
+
+    def test_uncached_db_rereads_every_pass(self):
+        cache = PageCacheModel(page_cache_bytes=48 * GIB)
+        cold = cache.cold_bytes([200 * GIB], [3])
+        assert cold >= 3 * 200 * GIB
+
+    def test_zero_passes(self):
+        cache = PageCacheModel(page_cache_bytes=48 * GIB)
+        assert cache.cold_bytes([200 * GIB], [0]) == 0.0
+
+    def test_mismatched_lists(self):
+        cache = PageCacheModel(page_cache_bytes=48 * GIB)
+        with pytest.raises(ValueError):
+            cache.cold_bytes([1.0], [1, 2])
+
+
+class TestIostat:
+    def test_saturated_desktop_profile(self):
+        report = simulate_iostat(NVME_PCIE4, 600e9, 2000.0, io_fraction=0.3)
+        assert report.utilization == 1.0
+        assert report.is_io_bound
+        # Paper: r_await stays 0.1-0.2 ms even at 100% util.
+        assert 0.1 <= report.r_await_ms <= 0.2
+
+    def test_cached_server_profile(self):
+        report = simulate_iostat(NVME_PCIE4, 5e9, 2000.0, io_fraction=0.3)
+        assert report.utilization < 0.2
+        assert not report.is_io_bound
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_iostat(NVME_PCIE4, 1e9, 0.0)
+        with pytest.raises(ValueError):
+            simulate_iostat(NVME_PCIE4, 1e9, 10.0, io_fraction=0.0)
+
+    def test_report_fields(self):
+        report = simulate_iostat(NVME_PCIE4, 100e9, 1000.0)
+        assert report.read_mbps == pytest.approx(100.0)
+        assert isinstance(report, IostatReport)

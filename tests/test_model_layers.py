@@ -1,0 +1,272 @@
+"""Attention / triangle / Pairformer / diffusion layer tests."""
+
+import numpy as np
+import pytest
+
+from repro.model.attention import MultiHeadAttention, merge_heads, split_heads
+from repro.model.config import ModelConfig
+from repro.model.diffusion import (
+    DiffusionModule,
+    LocalAttention,
+    noise_schedule,
+)
+from repro.model.embedding import (
+    InputEmbedder,
+    MsaModule,
+    relative_position_encoding,
+)
+from repro.model.heads import Confidence, ConfidenceHead, DistogramHead
+from repro.model.ops import OpCounter
+from repro.model.pairformer import Pairformer, PairformerBlock
+from repro.model.triangle import TriangleAttention, TriangleMultiplication
+
+CFG = ModelConfig.tiny()
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1)
+
+
+def pair(rng, n=10):
+    return rng.normal(size=(n, n, CFG.c_pair)).astype(np.float32)
+
+
+def single(rng, n=10):
+    return rng.normal(size=(n, CFG.c_single)).astype(np.float32)
+
+
+class TestHeadSplitting:
+    def test_roundtrip(self, rng):
+        x = rng.normal(size=(3, 8, 16))
+        assert np.allclose(merge_heads(split_heads(x, 4)), x)
+
+    def test_split_shape(self, rng):
+        x = rng.normal(size=(8, 16))
+        assert split_heads(x, 4).shape == (4, 8, 4)
+
+    def test_indivisible_rejected(self, rng):
+        with pytest.raises(ValueError):
+            split_heads(rng.normal(size=(8, 15)), 4)
+
+
+class TestMultiHeadAttention:
+    def test_output_shape(self, rng):
+        mha = MultiHeadAttention(rng, 16, 4)
+        out = mha(rng.normal(size=(10, 16)).astype(np.float32))
+        assert out.shape == (10, 16)
+
+    def test_cross_attention_shapes(self, rng):
+        mha = MultiHeadAttention(rng, 16, 4)
+        q = rng.normal(size=(5, 16)).astype(np.float32)
+        kv = rng.normal(size=(12, 16)).astype(np.float32)
+        assert mha(q, x_kv=kv).shape == (5, 16)
+
+    def test_bias_changes_output(self, rng):
+        mha = MultiHeadAttention(rng, 16, 4)
+        x = rng.normal(size=(6, 16)).astype(np.float32)
+        bias = np.zeros((4, 6, 6))
+        bias[:, :, 0] = 10.0
+        assert not np.allclose(mha(x), mha(x, bias=bias))
+
+    def test_finite(self, rng):
+        mha = MultiHeadAttention(rng, 16, 4)
+        out = mha(rng.normal(size=(2, 6, 16)).astype(np.float32))
+        assert np.isfinite(out).all()
+
+
+class TestTriangleLayers:
+    def test_mult_output_shape(self, rng):
+        layer = TriangleMultiplication(rng, CFG.c_pair, CFG.c_tri)
+        z = pair(rng)
+        assert layer(z).shape == z.shape
+
+    def test_outgoing_and_incoming_differ(self, rng):
+        z = pair(rng)
+        out = TriangleMultiplication(rng, CFG.c_pair, CFG.c_tri, outgoing=True)(z)
+        inc = TriangleMultiplication(rng, CFG.c_pair, CFG.c_tri, outgoing=False)(z)
+        assert not np.allclose(out, inc)
+
+    def test_attention_output_shape(self, rng):
+        layer = TriangleAttention(rng, CFG.c_pair, CFG.num_heads)
+        z = pair(rng)
+        assert layer(z).shape == z.shape
+
+    def test_starting_vs_ending_differ(self, rng):
+        z = pair(rng)
+        start = TriangleAttention(rng, CFG.c_pair, CFG.num_heads, starting=True)(z)
+        end = TriangleAttention(rng, CFG.c_pair, CFG.num_heads, starting=False)(z)
+        assert not np.allclose(start, end)
+
+    def test_non_square_rejected(self, rng):
+        layer = TriangleMultiplication(rng, CFG.c_pair, CFG.c_tri)
+        with pytest.raises(ValueError):
+            layer(rng.normal(size=(4, 5, CFG.c_pair)))
+
+    def test_triangle_mult_is_cubic_contraction(self, rng):
+        counter = OpCounter()
+        layer = TriangleMultiplication(rng, CFG.c_pair, CFG.c_tri)
+        with counter.scope("t8"):
+            layer(pair(rng, 8), counter)
+        f8 = counter.costs["t8"].flops
+        with counter.scope("t16"):
+            layer(pair(rng, 16), counter)
+        f16 = counter.costs["t16"].flops
+        # Doubling N multiplies the einsum term by 8 (O(N^3)); at the
+        # tiny test dims the linear layers dilute it, but the growth
+        # must still clearly exceed the quadratic factor of 4.
+        assert f16 / f8 > 4.1
+
+
+class TestPairformer:
+    def test_block_preserves_shapes(self, rng):
+        block = PairformerBlock(rng, CFG)
+        s, z = block(single(rng), pair(rng))
+        assert s.shape == (10, CFG.c_single)
+        assert z.shape == (10, 10, CFG.c_pair)
+
+    def test_stack_runs(self, rng):
+        pf = Pairformer(rng, CFG, num_blocks=2)
+        s, z = pf(single(rng), pair(rng))
+        assert np.isfinite(s).all() and np.isfinite(z).all()
+
+    def test_shape_validation(self, rng):
+        pf = Pairformer(rng, CFG, num_blocks=1)
+        with pytest.raises(ValueError):
+            pf(single(rng, 9), pair(rng, 10))
+
+    def test_blocks_actually_update(self, rng):
+        block = PairformerBlock(rng, CFG)
+        s0, z0 = single(rng), pair(rng)
+        s1, z1 = block(s0, z0)
+        assert not np.allclose(s0, s1)
+        assert not np.allclose(z0, z1)
+
+
+class TestNoiseSchedule:
+    def test_descending_with_trailing_zero(self):
+        s = noise_schedule(8)
+        assert len(s) == 9
+        assert s[-1] == 0.0
+        assert all(a > b for a, b in zip(s, s[1:]))
+
+    def test_bounds(self):
+        s = noise_schedule(16, sigma_max=160.0, sigma_min=0.04)
+        assert s[0] == pytest.approx(160.0)
+        assert s[-2] == pytest.approx(0.04)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            noise_schedule(0)
+
+
+class TestLocalAttention:
+    def test_output_shape(self, rng):
+        layer = LocalAttention(rng, 16, 4, window=8, keys=16)
+        x = rng.normal(size=(40, 16)).astype(np.float32)
+        assert layer(x).shape == x.shape
+
+    def test_locality(self, rng):
+        # Perturbing a far-away atom must not change a window that
+        # cannot see it.
+        layer = LocalAttention(rng, 16, 4, window=8, keys=16)
+        x = rng.normal(size=(64, 16)).astype(np.float32)
+        base = layer(x)
+        x2 = x.copy()
+        x2[60] += 100.0
+        out = layer(x2)
+        assert np.allclose(base[:8], out[:8])
+        assert not np.allclose(base[56:], out[56:])
+
+    def test_keys_must_cover_window(self, rng):
+        with pytest.raises(ValueError):
+            LocalAttention(rng, 16, 4, window=16, keys=8)
+
+
+class TestDiffusionModule:
+    def test_denoise_shapes(self, rng):
+        module = DiffusionModule(rng, CFG)
+        n = 6
+        atoms = CFG.num_atoms(n)
+        coords = rng.normal(size=(atoms, 3))
+        step = module.denoise(coords, 10.0, single(rng, n), pair(rng, n))
+        assert step.denoised_coords.shape == (atoms, 3)
+        assert step.token_activations.shape == (n, CFG.c_single)
+
+    def test_atom_count_validated(self, rng):
+        module = DiffusionModule(rng, CFG)
+        with pytest.raises(ValueError):
+            module.denoise(rng.normal(size=(7, 3)), 1.0,
+                           single(rng, 6), pair(rng, 6))
+
+    def test_sample_produces_finite_coords(self, rng):
+        module = DiffusionModule(rng, CFG)
+        coords, tokens = module.sample(
+            single(rng, 6), pair(rng, 6), np.random.default_rng(0),
+            num_steps=3,
+        )
+        assert coords.shape == (CFG.num_atoms(6), 3)
+        assert np.isfinite(coords).all()
+
+    def test_denoiser_skip_connection_at_low_sigma(self, rng):
+        # As sigma -> 0 the EDM preconditioning returns ~the input.
+        module = DiffusionModule(rng, CFG)
+        n = 4
+        coords = rng.normal(size=(CFG.num_atoms(n), 3))
+        step = module.denoise(coords, 1e-6, single(rng, n), pair(rng, n))
+        assert np.allclose(step.denoised_coords, coords, atol=1e-3)
+
+    def test_sampling_reduces_coordinate_scale(self, rng):
+        # Starting noise has sigma_max scale; the final structure must
+        # be far smaller even with random weights (skip-connection
+        # contraction along the schedule).
+        module = DiffusionModule(rng, CFG)
+        coords, _ = module.sample(
+            single(rng, 6), pair(rng, 6), np.random.default_rng(1),
+            num_steps=4,
+        )
+        from repro.model.diffusion import noise_schedule
+
+        sigma0 = noise_schedule(4)[0]
+        assert np.abs(coords).max() < sigma0
+
+
+class TestEmbedderAndHeads:
+    def test_relpos_encoding_onehot(self):
+        enc = relative_position_encoding(12)
+        assert enc.shape == (12, 12, 66)
+        assert np.allclose(enc.sum(-1), 1.0)
+
+    def test_embedder_shapes(self, rng):
+        emb = InputEmbedder(rng, CFG)
+        tokens = rng.integers(0, 20, 9)
+        s, z = emb(tokens)
+        assert s.shape == (9, CFG.c_single)
+        assert z.shape == (9, 9, CFG.c_pair)
+
+    def test_msa_module_returns_pair(self, rng):
+        module = MsaModule(rng, CFG)
+        msa = np.zeros((5, 9, 23), dtype=np.float32)
+        msa[:, :, 0] = 1.0
+        out = module(msa, pair(rng, 9))
+        assert out.shape == (9, 9, CFG.c_pair)
+
+    def test_distogram_normalised(self, rng):
+        head = DistogramHead(rng, CFG)
+        probs = head(pair(rng, 7))
+        assert np.allclose(probs.sum(-1), 1.0, atol=1e-5)
+        # Symmetric in (i, j).
+        assert np.allclose(probs, np.swapaxes(probs, 0, 1), atol=1e-5)
+
+    def test_confidence_ranges(self, rng):
+        head = ConfidenceHead(rng, CFG)
+        conf = head(single(rng, 7), pair(rng, 7))
+        assert (conf.plddt >= 0).all() and (conf.plddt <= 100).all()
+        assert (conf.pae >= 0).all()
+        assert 0.0 <= conf.ptm <= 1.0
+
+    def test_confidence_validation(self):
+        with pytest.raises(ValueError):
+            Confidence(
+                plddt=np.zeros(3), pae=np.zeros((3, 2)), ptm=0.5
+            )

@@ -1,0 +1,130 @@
+"""Op-counting primitive tests."""
+
+import numpy as np
+import pytest
+
+from repro.model.ops import (
+    OpCounter,
+    init_linear,
+    layer_norm,
+    linear,
+    matmul,
+    relu,
+    sigmoid,
+    softmax,
+    swish,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestLinear:
+    def test_output_shape(self, rng):
+        p = init_linear(rng, 8, 16)
+        out = linear(np.ones((4, 8), dtype=np.float32), p)
+        assert out.shape == (4, 16)
+
+    def test_flop_count_exact(self, rng):
+        p = init_linear(rng, 8, 16)
+        counter = OpCounter()
+        with counter.scope("lin"):
+            linear(np.ones((4, 8), dtype=np.float32), p, counter)
+        assert counter.costs["lin"].flops == 2 * 4 * 8 * 16
+
+    def test_dim_mismatch(self, rng):
+        p = init_linear(rng, 8, 16)
+        with pytest.raises(ValueError):
+            linear(np.ones((4, 9)), p)
+
+    def test_batched_dims(self, rng):
+        p = init_linear(rng, 8, 16)
+        out = linear(np.ones((2, 3, 8), dtype=np.float32), p)
+        assert out.shape == (2, 3, 16)
+
+
+class TestLayerNorm:
+    def test_normalises(self, rng):
+        x = rng.normal(3.0, 5.0, size=(10, 32)).astype(np.float32)
+        out = layer_norm(x, np.ones(32), np.zeros(32))
+        assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-4)
+        assert np.allclose(out.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_gamma_beta_applied(self, rng):
+        x = rng.normal(size=(4, 8)).astype(np.float32)
+        out = layer_norm(x, 2.0 * np.ones(8), 3.0 * np.ones(8))
+        assert np.allclose(out.mean(axis=-1), 3.0, atol=1e-4)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        x = rng.normal(size=(5, 7))
+        out = softmax(x)
+        assert np.allclose(out.sum(axis=-1), 1.0)
+
+    def test_stability_with_large_logits(self):
+        out = softmax(np.array([[1000.0, 1000.0]]))
+        assert np.allclose(out, 0.5)
+
+    def test_axis(self, rng):
+        x = rng.normal(size=(3, 4))
+        out = softmax(x, axis=0)
+        assert np.allclose(out.sum(axis=0), 1.0)
+
+
+class TestActivations:
+    def test_sigmoid_range(self, rng):
+        out = sigmoid(rng.normal(size=100))
+        assert (out > 0).all() and (out < 1).all()
+
+    def test_relu(self):
+        assert (relu(np.array([-1.0, 2.0])) == np.array([0.0, 2.0])).all()
+
+    def test_swish_matches_definition(self):
+        x = np.array([0.5, -0.5])
+        assert np.allclose(swish(x), x / (1 + np.exp(-x)))
+
+
+class TestMatmul:
+    def test_flops(self):
+        counter = OpCounter()
+        with counter.scope("mm"):
+            matmul(np.ones((3, 4)), np.ones((4, 5)), counter)
+        assert counter.costs["mm"].flops == 2 * 3 * 5 * 4
+
+
+class TestOpCounter:
+    def test_nested_scopes_attribute_to_innermost(self):
+        counter = OpCounter()
+        with counter.scope("outer"):
+            counter.record(flops=1)
+            with counter.scope("inner"):
+                counter.record(flops=10)
+        assert counter.costs["outer"].flops == 1
+        assert counter.costs["inner"].flops == 10
+
+    def test_unscoped_records(self):
+        counter = OpCounter()
+        counter.record(flops=5)
+        assert counter.costs["unscoped"].flops == 5
+
+    def test_totals_and_prefix(self):
+        counter = OpCounter()
+        with counter.scope("a.x"):
+            counter.record(flops=1, bytes_read=2)
+        with counter.scope("a.y"):
+            counter.record(flops=3)
+        with counter.scope("b.z"):
+            counter.record(flops=7)
+        assert counter.total_flops() == 11
+        assert counter.flops_by_prefix("a.") == 4
+        assert counter.total_bytes() == 2
+
+    def test_invocations_counted(self):
+        counter = OpCounter()
+        for _ in range(3):
+            with counter.scope("s"):
+                pass
+        assert counter.costs["s"].invocations == 3

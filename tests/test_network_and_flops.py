@@ -1,0 +1,167 @@
+"""Full-network tests and the analytic-vs-measured FLOP validation.
+
+The key invariant of the cost model: for every OpCounter scope, the
+analytic formula in repro.model.flops must predict the functionally
+measured FLOPs exactly at the tiny configuration — that is what
+licenses evaluating the same formulas at the AF3 configuration for the
+timing experiments.
+"""
+
+import numpy as np
+import pytest
+
+from repro.model.config import ModelConfig
+from repro.model.flops import (
+    inference_costs,
+    peak_activation_bytes,
+    total_bytes,
+    total_flops,
+)
+from repro.model.network import AlphaFold3Model
+from repro.model.ops import OpCounter
+
+CFG = ModelConfig.tiny()
+N_TOKENS = 20
+MSA_DEPTH = 6
+
+
+@pytest.fixture(scope="module")
+def prediction():
+    model = AlphaFold3Model(CFG, seed=3)
+    rng = np.random.default_rng(0)
+    tokens = rng.integers(0, 20, N_TOKENS)
+    msa = np.zeros((MSA_DEPTH, N_TOKENS, 23), dtype=np.float32)
+    classes = rng.integers(0, 20, (MSA_DEPTH, N_TOKENS))
+    msa[np.arange(MSA_DEPTH)[:, None], np.arange(N_TOKENS)[None, :], classes] = 1
+    profile = msa.mean(axis=0)
+    return model.predict(tokens, msa_onehot=msa, profile=profile)
+
+
+class TestNetwork:
+    def test_coordinate_output(self, prediction):
+        assert prediction.coords.shape == (CFG.num_atoms(N_TOKENS), 3)
+        assert np.isfinite(prediction.coords).all()
+
+    def test_confidence_output(self, prediction):
+        assert prediction.confidence.plddt.shape == (N_TOKENS,)
+        assert prediction.confidence.pae.shape == (N_TOKENS, N_TOKENS)
+
+    def test_distogram_output(self, prediction):
+        assert prediction.distogram.shape[:2] == (N_TOKENS, N_TOKENS)
+        assert np.allclose(prediction.distogram.sum(-1), 1.0, atol=1e-5)
+
+    def test_token_class_validation(self):
+        model = AlphaFold3Model(CFG)
+        with pytest.raises(ValueError):
+            model.predict(np.array([0, 99]))
+        with pytest.raises(ValueError):
+            model.predict(np.array([[0, 1]]))
+
+    def test_msa_width_validation(self):
+        model = AlphaFold3Model(CFG)
+        with pytest.raises(ValueError):
+            model.predict(
+                np.array([0, 1, 2]),
+                msa_onehot=np.zeros((2, 5, 23), dtype=np.float32),
+            )
+
+    def test_deterministic_given_seed(self):
+        tokens = np.arange(8) % 20
+        a = AlphaFold3Model(CFG, seed=9).predict(tokens)
+        b = AlphaFold3Model(CFG, seed=9).predict(tokens)
+        assert np.allclose(a.coords, b.coords)
+
+
+class TestFlopValidation:
+    """Analytic formulas == measured counts, scope by scope."""
+
+    def test_every_scope_matches_exactly(self, prediction):
+        measured = {k: v.flops for k, v in prediction.counter.costs.items()}
+        analytic = {
+            k: v.flops
+            for k, v in inference_costs(
+                N_TOKENS, CFG, msa_depth=MSA_DEPTH
+            ).items()
+        }
+        assert set(measured) == set(analytic)
+        for scope in measured:
+            assert measured[scope] == pytest.approx(analytic[scope], rel=1e-9), scope
+
+    def test_no_profile_halves_single_embed(self):
+        model = AlphaFold3Model(CFG, seed=3)
+        pred = model.predict(np.arange(10) % 20)
+        analytic = inference_costs(10, CFG, msa_depth=1, with_profile=False)
+        assert pred.counter.costs["embedder.single"].flops == pytest.approx(
+            analytic["embedder.single"].flops
+        )
+
+    def test_bytes_within_tolerance(self, prediction):
+        # Byte traffic formulas are coarser than FLOPs; hold each major
+        # scope to a factor-of-four envelope.
+        analytic = inference_costs(N_TOKENS, CFG, msa_depth=MSA_DEPTH)
+        for scope, cost in prediction.counter.costs.items():
+            measured = cost.bytes_read + cost.bytes_written
+            predicted = analytic[scope].bytes
+            if measured < 1e4:
+                continue
+            assert predicted == pytest.approx(measured, rel=3.0), scope
+
+
+class TestAf3ScaleCosts:
+    def test_triangle_attention_cubic(self):
+        cfg = ModelConfig.af3()
+        a = inference_costs(400, cfg)["pairformer.triangle_attention_starting"]
+        b = inference_costs(800, cfg)["pairformer.triangle_attention_starting"]
+        assert 4.0 < b.flops / a.flops < 9.0  # superquadratic
+
+    def test_local_attention_linear(self):
+        cfg = ModelConfig.af3()
+        a = inference_costs(400, cfg)["diffusion.local_attention_encoder"]
+        b = inference_costs(800, cfg)["diffusion.local_attention_encoder"]
+        assert b.flops / a.flops == pytest.approx(2.0, rel=0.1)
+
+    def test_triangle_layers_dominate_pairformer(self):
+        cfg = ModelConfig.af3()
+        costs = inference_costs(857, cfg)
+        tri = sum(
+            costs[s].flops for s in costs if "triangle" in s
+        )
+        pf = sum(costs[s].flops for s in costs if s.startswith("pairformer."))
+        assert tri / pf > 0.6
+
+    def test_total_helpers(self):
+        costs = inference_costs(100, ModelConfig.af3())
+        assert total_flops(costs) > 0
+        assert total_bytes(costs) > 0
+        assert peak_activation_bytes(costs) > 0
+
+    def test_diffusion_steps_scale_cost(self):
+        cfg = ModelConfig.af3()
+        c8 = inference_costs(300, cfg, num_diffusion_steps=8)
+        c16 = inference_costs(300, cfg, num_diffusion_steps=16)
+        assert c16["diffusion.global_attention"].flops == pytest.approx(
+            2 * c8["diffusion.global_attention"].flops
+        )
+
+
+class TestModelConfig:
+    def test_af3_dimensions(self):
+        cfg = ModelConfig.af3()
+        assert cfg.num_pairformer_blocks == 48
+        assert cfg.c_pair == 128
+        assert 8 <= cfg.num_diffusion_steps <= 16
+
+    def test_invalid_dims_rejected(self):
+        with pytest.raises(ValueError):
+            ModelConfig(c_pair=0)
+        with pytest.raises(ValueError):
+            ModelConfig(c_pair=100, num_heads=16)  # heads don't divide
+
+    def test_head_dim(self):
+        cfg = ModelConfig.tiny()
+        assert cfg.head_dim(16) == 4
+        with pytest.raises(ValueError):
+            cfg.head_dim(15)
+
+    def test_num_atoms(self):
+        assert ModelConfig.tiny().num_atoms(10) == 40

@@ -1,0 +1,152 @@
+"""Cross-chain MSA pairing tests."""
+
+import pytest
+
+from repro.msa.aligner import Msa
+from repro.msa.pairing import (
+    DEFAULT_NUM_TAXA,
+    pair_msas,
+    paired_assembly_msa,
+    taxon_of,
+)
+from repro.sequences.alphabets import GAP, MoleculeType
+
+
+def msa_with(names_rows, query="MKT"):
+    names, rows = zip(*([("query", query)] + names_rows))
+    return Msa(
+        query_name="query",
+        molecule_type=MoleculeType.PROTEIN,
+        rows=tuple(rows),
+        row_names=tuple(names),
+    )
+
+
+def names_in_taxon(taxon, count, num_taxa=DEFAULT_NUM_TAXA, prefix="s"):
+    """Generate record names hashing to a given taxon."""
+    out = []
+    i = 0
+    while len(out) < count:
+        name = f"{prefix}{i}"
+        if taxon_of(name, num_taxa) == taxon:
+            out.append(name)
+        i += 1
+    return out
+
+
+class TestTaxonAssignment:
+    def test_deterministic(self):
+        assert taxon_of("uniref_bg00001") == taxon_of("uniref_bg00001")
+
+    def test_range(self):
+        for i in range(100):
+            assert 0 <= taxon_of(f"rec{i}", 16) < 16
+
+    def test_invalid_num_taxa(self):
+        with pytest.raises(ValueError):
+            taxon_of("x", 0)
+
+
+class TestPairing:
+    def test_shared_taxon_pairs(self):
+        t = 5
+        a_names = names_in_taxon(t, 1, prefix="a")
+        b_names = names_in_taxon(t, 1, prefix="b")
+        msas = {
+            "A": msa_with([(a_names[0], "MAT")]),
+            "B": msa_with([(b_names[0], "MCT")], query="MKT"),
+        }
+        paired = pair_msas(msas)
+        assert paired.paired_taxa == (t,)
+        assert paired.paired_depth == 2  # query + one shared taxon
+        assert paired.paired_rows["A"][1] == "MAT"
+        assert paired.paired_rows["B"][1] == "MCT"
+
+    def test_unshared_rows_stay_unpaired(self):
+        msas = {
+            "A": msa_with([(names_in_taxon(3, 1, prefix="a")[0], "MAT")]),
+            "B": msa_with([(names_in_taxon(9, 1, prefix="b")[0], "MCT")]),
+        }
+        paired = pair_msas(msas)
+        assert paired.paired_taxa == ()
+        assert paired.unpaired_rows["A"] == ("MAT",)
+        assert paired.unpaired_rows["B"] == ("MCT",)
+
+    def test_query_always_first_paired_row(self):
+        msas = {"A": msa_with([]), "B": msa_with([], query="AAA")}
+        paired = pair_msas(msas)
+        assert paired.paired_rows["A"][0] == "MKT"
+        assert paired.paired_rows["B"][0] == "AAA"
+
+    def test_single_chain_no_pairs(self):
+        paired = pair_msas({"A": msa_with([("h", "MAT")])})
+        assert paired.paired_taxa == ()
+        assert paired.unpaired_rows["A"] == ("MAT",)
+
+    def test_best_row_per_taxon_kept(self):
+        t = 2
+        names = names_in_taxon(t, 2, prefix="x")
+        msas = {
+            "A": msa_with([(names[0], "MAT"), (names[1], "MCT")]),
+            "B": msa_with([(names_in_taxon(t, 1, prefix="y")[0], "MGT")]),
+        }
+        paired = pair_msas(msas)
+        # Rows arrive E-value-sorted; the first (best) wins the slot.
+        assert paired.paired_rows["A"][1] == "MAT"
+        assert "MCT" in paired.unpaired_rows["A"]
+
+    def test_max_paired_rows_cap(self):
+        rows_a = [(n, "MAT") for t in (1, 2, 3)
+                  for n in names_in_taxon(t, 1, prefix=f"a{t}")]
+        rows_b = [(n, "MCT") for t in (1, 2, 3)
+                  for n in names_in_taxon(t, 1, prefix=f"b{t}")]
+        paired = pair_msas(
+            {"A": msa_with(rows_a), "B": msa_with(rows_b)},
+            max_paired_rows=2,
+        )
+        assert len(paired.paired_taxa) == 2
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            pair_msas({})
+
+
+class TestAssemblyMsa:
+    def test_block_diagonal_padding(self):
+        msas = {
+            "A": msa_with([(names_in_taxon(4, 1, prefix="a")[0], "MAT")]),
+            "B": msa_with([(names_in_taxon(11, 1, prefix="b")[0], "CCC")]),
+        }
+        paired = pair_msas(msas)
+        assembly = paired_assembly_msa(
+            paired, {"A": MoleculeType.PROTEIN, "B": MoleculeType.PROTEIN}
+        )
+        # Row 0: concatenated queries; unpaired rows gap-padded.
+        assert assembly.rows[0] == "MKTMKT"
+        unpaired_a = next(
+            r for n, r in zip(assembly.row_names, assembly.rows)
+            if n.startswith("unpaired_A")
+        )
+        assert unpaired_a == "MAT" + GAP * 3
+
+    def test_widths_consistent(self):
+        msas = {"A": msa_with([]), "B": msa_with([])}
+        paired = pair_msas(msas)
+        assembly = paired_assembly_msa(
+            paired, {"A": MoleculeType.PROTEIN, "B": MoleculeType.PROTEIN}
+        )
+        assert assembly.width == paired.assembly_width()
+
+    def test_real_engine_msas_pair(self, msa_promo):
+        # The promo sample's three protein chains share planted
+        # homolog families, so cross-chain taxa overlap organically.
+        chain_msas = {
+            cid: msa for cid, msa in msa_promo.chain_msas.items()
+        }
+        paired = pair_msas(chain_msas)
+        assert paired.paired_depth >= 1
+        assembly = paired_assembly_msa(
+            paired,
+            {cid: m.molecule_type for cid, m in chain_msas.items()},
+        )
+        assert assembly.width == sum(m.width for m in chain_msas.values())

@@ -1,0 +1,164 @@
+"""End-to-end pipeline tests: the paper's headline observations."""
+
+import pytest
+
+from repro.core.pipeline import Af3Pipeline, optimal_thread_count
+from repro.hardware.memory import MemoryOutcome, OutOfMemoryError
+from repro.hardware.platform import DESKTOP, DESKTOP_128G, SERVER
+
+
+@pytest.fixture(scope="module")
+def server_pipe(msa_engine):
+    return Af3Pipeline(SERVER, msa_engine=msa_engine)
+
+
+@pytest.fixture(scope="module")
+def desktop_pipe(msa_engine):
+    return Af3Pipeline(DESKTOP, msa_engine=msa_engine)
+
+
+@pytest.fixture(scope="module")
+def desktop128_pipe(msa_engine):
+    return Af3Pipeline(DESKTOP_128G, msa_engine=msa_engine)
+
+
+class TestBasicRuns:
+    def test_result_structure(self, server_pipe, samples):
+        r = server_pipe.run(samples["2PV7"], threads=4)
+        assert r.total_seconds == pytest.approx(
+            r.msa_seconds + r.inference_seconds
+        )
+        assert 0.0 < r.msa_fraction < 1.0
+        assert r.memory_outcome is MemoryOutcome.FITS_DRAM
+
+    def test_msa_dominates(self, server_pipe, desktop_pipe, samples):
+        # Paper headline: MSA is 70-95% of end-to-end time.
+        for pipe in (server_pipe, desktop_pipe):
+            for name in ("2PV7", "1YY9", "promo"):
+                r = pipe.run(samples[name], threads=4)
+                assert r.msa_fraction > 0.6
+
+    def test_server_most_complex_sample_exceeds_90pct(
+        self, server_pipe, samples
+    ):
+        r = server_pipe.run(samples["promo"], threads=6)
+        assert r.msa_fraction > 0.90
+
+    def test_desktop_inference_share_higher(
+        self, server_pipe, desktop_pipe, samples
+    ):
+        s = server_pipe.run(samples["2PV7"], threads=4)
+        d = desktop_pipe.run(samples["2PV7"], threads=4)
+        assert (1 - d.msa_fraction) > (1 - s.msa_fraction)
+
+
+class TestObservation1:
+    """Consumer-grade systems efficiently support AF3 (Observation 1)."""
+
+    def test_desktop_faster_end_to_end_for_mid_inputs(
+        self, server_pipe, desktop_pipe, samples
+    ):
+        for name in ("2PV7", "7RCE", "1YY9", "promo"):
+            for threads in (1, 4):
+                s = server_pipe.run(samples[name], threads=threads)
+                d = desktop_pipe.run(samples[name], threads=threads)
+                assert d.total_seconds < s.total_seconds, (name, threads)
+
+    def test_desktop_processes_1k_residue_complex(
+        self, desktop128_pipe, samples
+    ):
+        # 6QNR (1,395 residues) completes on the upgraded Desktop using
+        # unified memory.
+        r = desktop128_pipe.run(samples["6QNR"], threads=6)
+        assert r.inference.used_unified_memory
+        assert r.total_seconds > 0
+
+
+class TestMemoryBehaviour:
+    def test_6qnr_ooms_default_desktop(self, desktop_pipe, samples):
+        with pytest.raises(OutOfMemoryError):
+            desktop_pipe.run(samples["6QNR"], threads=4)
+
+    def test_check_can_be_disabled(self, desktop_pipe, samples):
+        r = desktop_pipe.run(samples["6QNR"], threads=4, check_memory=False)
+        assert r.memory_outcome is MemoryOutcome.OOM
+
+    def test_6qnr_fits_server(self, server_pipe, samples):
+        r = server_pipe.run(samples["6QNR"], threads=4)
+        assert r.memory_outcome is MemoryOutcome.FITS_DRAM
+
+
+class TestStorageBehaviour:
+    def test_server_cpu_bound(self, server_pipe, samples):
+        r = server_pipe.run(samples["promo"], threads=4)
+        assert r.iostat.utilization < 0.25
+
+    def test_desktop_io_saturated(self, desktop_pipe, samples):
+        r = desktop_pipe.run(samples["promo"], threads=4)
+        assert r.iostat.utilization > 0.9
+        assert r.iostat.r_await_ms < 0.25  # latency stays low
+
+
+class TestThreadBehaviour:
+    def test_optimal_threads_between_4_and_6(self, desktop_pipe, samples):
+        best = optimal_thread_count(desktop_pipe, samples["2PV7"])
+        assert best in (4, 6)
+
+    def test_default_8_threads_suboptimal(self, desktop_pipe, samples):
+        # Observation 3 / Section IV-C1: the AF3 default of 8 can lose
+        # to adaptive selection.
+        r8 = desktop_pipe.run(samples["2PV7"], threads=8)
+        best = optimal_thread_count(desktop_pipe, samples["2PV7"])
+        rbest = desktop_pipe.run(samples["2PV7"], threads=best)
+        assert rbest.total_seconds < r8.total_seconds
+
+    def test_near_ideal_speedup_one_to_two(self, server_pipe, samples):
+        t1 = server_pipe.run(samples["1YY9"], threads=1).msa_seconds
+        t2 = server_pipe.run(samples["1YY9"], threads=2).msa_seconds
+        assert 1.75 < t1 / t2 < 2.05
+
+    def test_persistent_state_speeds_inference(self, server_pipe, samples):
+        cold = server_pipe.run(samples["2PV7"], threads=1)
+        warm = server_pipe.run(
+            samples["2PV7"], threads=1, persistent_model_state=True
+        )
+        assert warm.inference_seconds < 0.5 * cold.inference_seconds
+
+
+class TestCxlPenalty:
+    def test_cxl_resident_run_pays_latency(self, msa_engine):
+        """A working set spilling into CXL slows the MSA phase
+        (the 1,135-nt regime the paper could only run with the
+        expander)."""
+        import dataclasses
+
+        from repro.core.pipeline import Af3Pipeline
+        from repro.hardware.memory import MemorySpec
+        from repro.hardware.platform import SERVER
+        from repro.sequences.builtin import get_sample
+
+        GIB = 1024 ** 3
+        # Shrink the Server's DRAM so 6QNR's 97.5 GiB peak spills.
+        small_dram = SERVER.with_memory(
+            MemorySpec(dram_bytes=72 * GIB, cxl_bytes=256 * GIB),
+            name="Server-72G",
+        )
+        spilled = Af3Pipeline(small_dram, msa_engine=msa_engine).run(
+            get_sample("6QNR"), threads=4
+        )
+        normal = Af3Pipeline(SERVER, msa_engine=msa_engine).run(
+            get_sample("6QNR"), threads=4
+        )
+        assert spilled.memory_outcome.value == "fits_with_cxl"
+        assert spilled.msa_seconds > 1.05 * normal.msa_seconds
+
+
+class TestResultExports:
+    def test_csv_header_and_rows(self, runner, samples):
+        from repro.core.results import ResultSet
+
+        record = runner.run_one(samples["7RCE"], runner.platforms[0], 2)
+        csv = ResultSet([record]).to_csv()
+        lines = csv.strip().splitlines()
+        assert lines[0].startswith("sample,platform,threads")
+        assert lines[1].startswith("7RCE,Server,2")

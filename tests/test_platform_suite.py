@@ -1,0 +1,113 @@
+"""Platform presets, suite facade completeness, and determinism."""
+
+import pytest
+
+from repro.core.suite import AfSysBench
+from repro.hardware.platform import (
+    DESKTOP,
+    DESKTOP_128G,
+    PLATFORMS,
+    SERVER,
+    get_platform,
+)
+
+GIB = 1024 ** 3
+
+
+class TestPlatformPresets:
+    def test_table1_fidelity(self):
+        row = SERVER.table_row()
+        assert row["Core/Thread"] == "16/32"
+        assert row["Last Level Cache"] == "30 MB shared"
+        assert row["Memory Size"] == "512 GiB"
+        assert "CXL" in row["Mem. Expander"]
+        row = DESKTOP.table_row()
+        assert row["Core/Thread"] == "12/24"
+        assert row["Mem. Expander"] == "-"
+
+    def test_lookup_case_insensitive(self):
+        assert get_platform("server") is SERVER
+        assert get_platform("DESKTOP") is DESKTOP
+
+    def test_lookup_unknown(self):
+        with pytest.raises(KeyError):
+            get_platform("laptop")
+
+    def test_upgrade_has_distinct_name(self):
+        assert DESKTOP_128G.name != DESKTOP.name
+        assert DESKTOP_128G.memory.dram_bytes == 128 * GIB
+        assert DESKTOP_128G.cpu is DESKTOP.cpu
+
+    def test_host_single_thread_ips_ordering(self):
+        # The Ryzen's clock advantage makes it the faster host for
+        # single-threaded XLA work.
+        assert DESKTOP.host_single_thread_ips > SERVER.host_single_thread_ips
+
+    def test_registry_complete(self):
+        assert set(PLATFORMS) == {"Server", "Desktop", "Desktop-128G"}
+
+
+class TestSuiteCompleteness:
+    def test_all_artifacts_enumerated(self, runner):
+        bench = AfSysBench(runner)
+        keys = set(bench._experiments())
+        expected = {
+            "table1", "table2", "table3", "table4", "table5", "table6",
+            "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+            "fig9", "section6", "whatif", "scaling", "roofline",
+        }
+        assert expected <= keys
+
+    def test_small_factory(self):
+        bench = AfSysBench.small(seed=3)
+        assert bench.runner.msa_engine.config.seed == 3
+
+
+class TestDeterminism:
+    def test_pipeline_runs_identical(self, runner, samples):
+        a = runner.run_one(samples["7RCE"], runner.platforms[0], 4)
+        b = runner.run_one(samples["7RCE"], runner.platforms[0], 4)
+        assert a == b
+
+    def test_cheap_artifacts_stable(self, runner):
+        bench = AfSysBench(runner)
+        assert bench.table(5) == bench.table(5)
+        assert bench.figure(2) == bench.figure(2)
+
+
+class TestCampaign:
+    def test_save_selected_artifacts(self, runner, tmp_path):
+        import json
+
+        from repro.core.campaign import run_campaign
+        from repro.core.suite import AfSysBench
+
+        result = run_campaign(
+            AfSysBench(runner), output_dir=str(tmp_path / "arts"),
+            artifacts=["table1", "fig2", "table6"],
+        )
+        assert result.count == 3
+        for path in result.artifact_paths.values():
+            with open(path, encoding="utf-8") as fh:
+                assert fh.read().strip()
+        with open(result.manifest_path, encoding="utf-8") as fh:
+            manifest = json.load(fh)
+        assert manifest["artifacts"] == ["table1", "fig2", "table6"]
+
+    def test_unknown_artifact_rejected(self, runner, tmp_path):
+        import pytest as _pytest
+
+        from repro.core.campaign import run_campaign
+        from repro.core.suite import AfSysBench
+
+        with _pytest.raises(KeyError):
+            run_campaign(AfSysBench(runner), str(tmp_path), ["table99"])
+
+    def test_combined_report_sections(self, runner):
+        from repro.core.campaign import combined_report
+        from repro.core.suite import AfSysBench
+
+        text = combined_report(
+            AfSysBench(runner), artifacts=["table1", "table5"]
+        )
+        assert "TABLE1" in text and "TABLE5" in text

@@ -1,0 +1,151 @@
+"""Profiling-layer tests: perf views, nsys timeline, host events, uProf."""
+
+import pytest
+
+from repro.hardware.cpu import CpuSimulator, RYZEN_7900X, XEON_5416S
+from repro.hardware.gpu import H100, InferenceSimulator
+from repro.profiling.host_profile import profile_host_events
+from repro.profiling.iostat import classify_phase, iostat_rows
+from repro.profiling.nsys import phase_fractions, timeline
+from repro.profiling.perf import (
+    CounterSummary,
+    cache_miss_shares,
+    cycle_shares,
+    function_table,
+)
+from repro.profiling.uprof import profile_l3
+from repro.hardware.storage import IostatReport
+
+
+@pytest.fixture(scope="module")
+def report_1t(msa_2pv7):
+    return CpuSimulator(XEON_5416S).simulate(msa_2pv7.trace, 1)
+
+
+@pytest.fixture(scope="module")
+def report_4t(msa_2pv7):
+    return CpuSimulator(XEON_5416S).simulate(msa_2pv7.trace, 4)
+
+
+class TestPerfViews:
+    def test_counter_summary_rows(self, report_1t):
+        summary = CounterSummary.from_report(report_1t)
+        names = [name for name, _ in summary.rows()]
+        assert names == [
+            "IPC", "Cache Miss", "L1 Miss (%)", "LLC Miss (%)",
+            "dTLB Miss (%)", "Branch Miss (%)",
+        ]
+
+    def test_cycle_shares_sum_below_one(self, report_1t):
+        shares = cycle_shares(report_1t, top=3)
+        assert 0 < sum(shares.values()) <= 1.0
+        assert len(shares) == 3
+
+    def test_calc_band_9_top_cycle_consumer(self, report_1t):
+        top = next(iter(cycle_shares(report_1t, top=1)))
+        assert top in ("calc_band_9", "calc_band_10")
+
+    def test_copy_to_iter_top_cache_misser_at_1t(self, report_1t):
+        # Table IV: copy_to_iter dominates cache misses single-threaded.
+        top = next(iter(cache_miss_shares(report_1t, top=1)))
+        assert top == "copy_to_iter"
+
+    def test_copy_to_iter_share_falls_with_threads(
+        self, report_1t, report_4t
+    ):
+        s1 = cache_miss_shares(report_1t)["copy_to_iter"]
+        s4 = cache_miss_shares(report_4t)["copy_to_iter"]
+        assert s4 < s1 * 0.8
+
+    def test_calc_band_9_miss_share_rises_with_threads(
+        self, report_1t, report_4t
+    ):
+        s1 = cache_miss_shares(report_1t).get("calc_band_9", 0.0)
+        s4 = cache_miss_shares(report_4t).get("calc_band_9", 0.0)
+        assert s4 > s1
+
+    def test_function_table_layout(self, report_1t, report_4t):
+        rows = function_table(report_1t, report_4t, top=4)
+        assert len(rows) == 8
+        metric, fn, v1, v4 = rows[0]
+        assert metric == "CPU Cycles (%)"
+        assert 0 <= v1 <= 100
+
+
+class TestNsys:
+    @pytest.fixture(scope="class")
+    def breakdown(self):
+        sim = InferenceSimulator(H100, 14.7e9)
+        return sim.run(484)
+
+    def test_timeline_contiguous(self, breakdown):
+        spans = timeline(breakdown)
+        assert spans[0].start_s == 0.0
+        for a, b in zip(spans, spans[1:]):
+            assert b.start_s == pytest.approx(a.end_s)
+        assert spans[-1].end_s == pytest.approx(breakdown.total)
+
+    def test_phase_fractions_sum_to_one(self, breakdown):
+        fracs = phase_fractions(breakdown)
+        assert sum(f for _, f in fracs) == pytest.approx(1.0)
+
+    def test_phase_names(self, breakdown):
+        names = [name for name, _ in phase_fractions(breakdown)]
+        assert names == [
+            "gpu_initialization", "xla_compilation",
+            "gpu_compute", "finalization",
+        ]
+
+
+class TestHostProfile:
+    def test_table5_anchor_2pv7(self):
+        e = profile_host_events(484)
+        assert 100 * e.page_fault_fill_insert == pytest.approx(12.99, abs=0.1)
+        assert 100 * e.dtlb_byte_size_of == pytest.approx(5.99, abs=0.1)
+        assert 100 * e.llc_copy_to_iter == pytest.approx(6.90, abs=0.1)
+
+    def test_table5_trends(self):
+        small, large = profile_host_events(484), profile_host_events(1395)
+        assert large.page_fault_fill_insert > small.page_fault_fill_insert
+        assert large.dtlb_byte_size_of < small.dtlb_byte_size_of
+        assert large.llc_copy_to_iter < small.llc_copy_to_iter
+
+    def test_rows_mapping(self):
+        rows = profile_host_events(484).rows()
+        assert len(rows) == 3
+
+    def test_invalid_tokens(self):
+        with pytest.raises(ValueError):
+            profile_host_events(0)
+
+
+class TestUprof:
+    def test_l3_escalation_for_calc_band(self, msa_2pv7):
+        # Section V-B2b: AMD L3 contention for calc_band_9 rises from
+        # ~1% to >25% under multi-threading.
+        r1 = profile_l3(msa_2pv7.trace, 1)
+        r6 = profile_l3(msa_2pv7.trace, 6)
+        assert r1.l3_miss_pct_by_function["calc_band_9"] < 5.0
+        assert r6.l3_miss_pct_by_function["calc_band_9"] > 20.0
+
+    def test_rejects_intel(self, msa_2pv7):
+        with pytest.raises(ValueError):
+            profile_l3(msa_2pv7.trace, 1, CpuSimulator(XEON_5416S))
+
+
+class TestIostatFormatting:
+    def make(self, util):
+        return IostatReport(
+            disk_bytes_read=1e11, phase_seconds=100.0, io_seconds=30.0,
+            utilization=util, r_await_ms=0.15, read_mbps=1000.0,
+        )
+
+    def test_classify(self):
+        assert "I/O-bound" in classify_phase(self.make(1.0))
+        assert "CPU-bound" in classify_phase(self.make(0.05))
+        assert classify_phase(self.make(0.5)) == "mixed"
+
+    def test_rows(self):
+        rows = iostat_rows(self.make(1.0))
+        assert rows["%util"] == "100"
+        assert rows["r_await(ms)"] == "0.15"

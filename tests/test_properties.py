@@ -1,0 +1,295 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.msa.aligner import global_align
+from repro.msa.dp import calc_band_9, msv_filter, reference_viterbi
+from repro.msa.evalue import GumbelParams
+from repro.msa.profile_hmm import ProfileHMM, encode_sequence
+from repro.sequences.alphabets import (
+    MoleculeType,
+    PROTEIN_ALPHABET,
+    validate_sequence,
+)
+from repro.sequences.complexity import (
+    low_complexity_mask,
+    shannon_entropy,
+    windowed_entropy,
+)
+from repro.trace import AccessPattern, OpRecord, WorkloadTrace
+
+protein_seq = st.text(alphabet=PROTEIN_ALPHABET, min_size=1, max_size=60)
+short_protein = st.text(alphabet=PROTEIN_ALPHABET, min_size=4, max_size=16)
+
+
+class TestSequenceProperties:
+    @given(protein_seq)
+    def test_validate_roundtrip(self, seq):
+        assert validate_sequence(seq, MoleculeType.PROTEIN) == seq
+
+    @given(protein_seq)
+    def test_entropy_bounds(self, seq):
+        h = shannon_entropy(seq)
+        assert 0.0 <= h <= math.log2(20) + 1e-9
+
+    @given(protein_seq)
+    def test_windowed_entropy_bounds(self, seq):
+        for h in windowed_entropy(seq, window=8):
+            assert 0.0 <= h <= math.log2(20) + 1e-9
+
+    @given(protein_seq)
+    def test_mask_length(self, seq):
+        assert len(low_complexity_mask(seq)) == len(seq)
+
+    @given(st.text(alphabet="Q", min_size=12, max_size=40))
+    def test_homopolymer_fully_masked(self, seq):
+        assert all(low_complexity_mask(seq))
+
+
+class TestAlignmentProperties:
+    @given(short_protein, short_protein)
+    @settings(max_examples=40, deadline=None)
+    def test_alignment_invariants(self, a, b):
+        aln = global_align(a, b)
+        assert len(aln.aligned_query) == len(aln.aligned_target)
+        assert aln.aligned_query.replace("-", "") == a
+        assert aln.aligned_target.replace("-", "") == b
+        assert 0.0 <= aln.identity <= 1.0
+
+    @given(short_protein)
+    @settings(max_examples=25, deadline=None)
+    def test_self_alignment_perfect(self, a):
+        aln = global_align(a, a)
+        assert aln.identity == 1.0
+        assert aln.score == 2.0 * len(a)
+
+    @given(short_protein, short_protein)
+    @settings(max_examples=25, deadline=None)
+    def test_alignment_symmetric_score(self, a, b):
+        assert global_align(a, b).score == global_align(b, a).score
+
+
+class TestDpProperties:
+    @given(short_protein, short_protein)
+    @settings(max_examples=20, deadline=None)
+    def test_viterbi_matches_reference(self, q, t):
+        prof = ProfileHMM.from_query(q, MoleculeType.PROTEIN)
+        enc = encode_sequence(t, MoleculeType.PROTEIN)
+        ours = calc_band_9(prof, enc, band=1000).score
+        assert abs(ours - reference_viterbi(prof, enc)) < 1e-6
+
+    @given(short_protein, short_protein)
+    @settings(max_examples=20, deadline=None)
+    def test_scores_nonnegative(self, q, t):
+        # Local alignment with a free begin: score >= 0... the single
+        # best cell includes emission, which can be negative; the MSV
+        # Kadane floor is zero though.
+        prof = ProfileHMM.from_query(q, MoleculeType.PROTEIN)
+        enc = encode_sequence(t, MoleculeType.PROTEIN)
+        assert msv_filter(prof, enc).score >= 0.0
+
+    @given(short_protein)
+    @settings(max_examples=20, deadline=None)
+    def test_self_score_dominates_others(self, q):
+        prof = ProfileHMM.from_query(q, MoleculeType.PROTEIN)
+        self_score = calc_band_9(
+            prof, encode_sequence(q, MoleculeType.PROTEIN), band=1000
+        ).score
+        shuffled = q[::-1]
+        other = calc_band_9(
+            prof, encode_sequence(shuffled, MoleculeType.PROTEIN), band=1000
+        ).score
+        assert self_score >= other - 1e-9
+
+
+class TestGumbelProperties:
+    @given(
+        st.floats(min_value=-50, max_value=50),
+        st.floats(min_value=0.05, max_value=5.0),
+        st.floats(min_value=-100, max_value=200),
+    )
+    def test_survival_is_probability(self, mu, lam, score):
+        g = GumbelParams(mu=mu, lam=lam)
+        assert 0.0 <= g.survival(score) <= 1.0
+
+    @given(
+        st.floats(min_value=-10, max_value=10),
+        st.floats(min_value=0.1, max_value=3.0),
+    )
+    def test_inversion(self, mu, lam):
+        g = GumbelParams(mu=mu, lam=lam)
+        score = g.score_for_evalue(1e-2, 10_000)
+        assert g.evalue(score, 10_000) == np.float64(
+            np.clip(g.evalue(score, 10_000), 0, None)
+        )
+        assert abs(g.evalue(score, 10_000) - 1e-2) / 1e-2 < 1e-6
+
+
+class TestTraceProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=1e12),
+                st.floats(min_value=0, max_value=1e12),
+            ),
+            min_size=1,
+            max_size=10,
+        ),
+        st.floats(min_value=0.0, max_value=100.0),
+    )
+    def test_scaling_linearity(self, items, factor):
+        trace = WorkloadTrace(
+            OpRecord("f", "p", instructions=i, bytes_read=b)
+            for i, b in items
+        )
+        scaled = trace.scaled(factor)
+        assert scaled.total_instructions() == sum(
+            i * factor for i, _ in items
+        )
+
+    @given(st.lists(st.floats(min_value=1e-3, max_value=1e9), min_size=1,
+                    max_size=8))
+    def test_function_shares_normalised(self, instrs):
+        trace = WorkloadTrace(
+            OpRecord(f"f{i}", "p", instructions=v)
+            for i, v in enumerate(instrs)
+        )
+        assert abs(sum(trace.function_shares().values()) - 1.0) < 1e-9
+
+
+class TestModelProperties:
+    @given(st.integers(min_value=2, max_value=40))
+    @settings(max_examples=15, deadline=None)
+    def test_softmax_rows_normalised(self, n):
+        from repro.model.ops import softmax
+
+        rng = np.random.default_rng(n)
+        out = softmax(rng.normal(size=(n, n)) * 10)
+        assert np.allclose(out.sum(-1), 1.0, atol=1e-6)
+
+    @given(st.integers(min_value=1, max_value=12))
+    @settings(max_examples=10, deadline=None)
+    def test_noise_schedule_monotone(self, steps):
+        from repro.model.diffusion import noise_schedule
+
+        s = noise_schedule(steps)
+        assert all(a > b for a, b in zip(s, s[1:]))
+
+    @given(st.integers(min_value=8, max_value=2048))
+    @settings(max_examples=20, deadline=None)
+    def test_inference_costs_positive_and_monotone(self, n):
+        from repro.model.config import ModelConfig
+        from repro.model.flops import inference_costs, total_flops
+
+        cfg = ModelConfig.af3()
+        small = total_flops(inference_costs(n, cfg))
+        bigger = total_flops(inference_costs(n + 8, cfg))
+        assert 0 < small < bigger
+
+
+class TestHardwareProperties:
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.sampled_from(list(AccessPattern)),
+        st.floats(min_value=1e3, max_value=5e8),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_llc_rate_is_probability(self, threads, pattern, ws):
+        from repro.hardware.cpu import CpuSimulator, RYZEN_7900X, XEON_5416S
+
+        record = OpRecord(
+            "f", "p", instructions=1e9, bytes_read=1e9,
+            working_set_bytes=ws, pattern=pattern,
+        )
+        for spec in (XEON_5416S, RYZEN_7900X):
+            rate = CpuSimulator(spec)._llc_miss_rate(record, threads)
+            assert 0.0 <= rate <= 1.0
+
+    @given(st.integers(min_value=50, max_value=3000))
+    def test_rna_memory_monotone(self, length):
+        from repro.msa.nhmmer import rna_peak_memory_bytes
+
+        assert rna_peak_memory_bytes(length) <= rna_peak_memory_bytes(length + 10)
+
+    @given(st.integers(min_value=1, max_value=5000))
+    def test_host_event_shares_are_probabilities(self, tokens):
+        from repro.profiling.host_profile import profile_host_events
+
+        e = profile_host_events(tokens)
+        for v in (e.page_fault_fill_insert, e.dtlb_byte_size_of,
+                  e.llc_copy_to_iter):
+            assert 0.0 <= v <= 1.0
+
+
+class TestFormatProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.text(alphabet="abcdefgh123_", min_size=1, max_size=12),
+                st.text(alphabet=PROTEIN_ALPHABET, min_size=1, max_size=120),
+            ),
+            min_size=1,
+            max_size=6,
+            unique_by=lambda t: t[0],
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_fasta_roundtrip(self, records):
+        from repro.msa.formats import parse_fasta, write_fasta
+
+        assert parse_fasta(write_fasta(records)) == records
+
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=2, max_value=30),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_a3m_roundtrip(self, depth, width):
+        import numpy as np
+
+        from repro.msa.aligner import Msa
+        from repro.msa.formats import parse_a3m, write_a3m
+        from repro.sequences.alphabets import MoleculeType
+
+        rng = np.random.default_rng(depth * 100 + width)
+        alphabet = "ACDEFGHIKLMNPQRSTVWY-"
+        rows = tuple(
+            "".join(rng.choice(list(alphabet), size=width))
+            for _ in range(depth)
+        )
+        msa = Msa("q", MoleculeType.PROTEIN, rows,
+                  tuple(f"r{i}" for i in range(depth)))
+        again = parse_a3m(write_a3m(msa))
+        assert again.rows == msa.rows
+
+
+class TestPairingProperties:
+    @given(st.integers(min_value=1, max_value=64))
+    def test_taxon_in_range(self, num_taxa):
+        from repro.msa.pairing import taxon_of
+
+        for i in range(20):
+            assert 0 <= taxon_of(f"rec{i}", num_taxa) < num_taxa
+
+    @given(
+        st.lists(
+            st.text(alphabet="abcdef", min_size=1, max_size=8),
+            min_size=0, max_size=8, unique=True,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_pairing_conserves_rows(self, names):
+        from repro.msa.aligner import Msa
+        from repro.msa.pairing import pair_msas
+        from repro.sequences.alphabets import MoleculeType
+
+        rows = ("MKT",) + tuple("MAT" for _ in names)
+        msa = Msa("q", MoleculeType.PROTEIN, rows, ("q",) + tuple(names))
+        paired = pair_msas({"A": msa})
+        total = len(paired.paired_rows["A"]) + len(paired.unpaired_rows["A"])
+        # Row conservation up to dedup of identical sequences.
+        assert total <= msa.depth
+        assert paired.paired_rows["A"][0] == "MKT"

@@ -1,0 +1,151 @@
+"""Benchmark runner, result set and report-rendering tests."""
+
+import pytest
+
+from repro.core.report import (
+    render_bar_chart,
+    render_pie,
+    render_series,
+    render_stacked_bars,
+    render_table,
+)
+from repro.core.results import (
+    ResultSet,
+    RunRecord,
+    coefficient_of_variation,
+)
+
+
+def rec(sample="S", platform="P", threads=1, msa=100.0, inf=10.0):
+    return RunRecord(
+        sample=sample, platform=platform, threads=threads,
+        msa_seconds=msa, inference_seconds=inf,
+        msa_fraction=msa / (msa + inf),
+    )
+
+
+class TestRunRecord:
+    def test_total(self):
+        assert rec().total_seconds == 110.0
+
+    def test_round_trip_json(self):
+        rs = ResultSet([rec(), rec(threads=2, msa=60)])
+        again = ResultSet.from_json(rs.to_json())
+        assert len(again) == 2
+        assert again.records[1].msa_seconds == 60
+
+
+class TestResultSet:
+    def make(self):
+        return ResultSet([
+            rec(threads=1, msa=100), rec(threads=2, msa=52),
+            rec(threads=4, msa=30), rec(threads=8, msa=35),
+            rec(sample="T", threads=1, msa=10),
+        ])
+
+    def test_filter(self):
+        rs = self.make()
+        assert len(rs.filter(sample="S")) == 4
+        assert len(rs.filter(threads=1)) == 2
+
+    def test_one(self):
+        assert self.make().one("S", "P", 4).msa_seconds == 30
+
+    def test_one_missing(self):
+        with pytest.raises(KeyError):
+            self.make().one("S", "P", 16)
+
+    def test_speedup_curve(self):
+        curve = self.make().speedup_curve("S", "P")
+        assert curve[1] == 1.0
+        assert curve[4] == pytest.approx(100 / 30)
+
+    def test_speedup_requires_baseline(self):
+        rs = ResultSet([rec(threads=2)])
+        with pytest.raises(KeyError):
+            rs.speedup_curve("S", "P")
+
+    def test_best_threads(self):
+        assert self.make().best_threads("S", "P") == 4
+
+    def test_samples_platforms(self):
+        rs = self.make()
+        assert rs.samples() == ["S", "T"]
+        assert rs.platforms() == ["P"]
+        assert rs.thread_counts() == [1, 2, 4, 8]
+
+
+class TestCoefficientOfVariation:
+    def test_zero_for_constant(self):
+        assert coefficient_of_variation([5.0, 5.0, 5.0]) == 0.0
+
+    def test_known_value(self):
+        assert coefficient_of_variation([8.0, 12.0]) == pytest.approx(0.2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            coefficient_of_variation([])
+
+
+class TestRenderers:
+    def test_table_alignment(self):
+        out = render_table(["a", "bb"], [["x", 1], ["yy", 23]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "--" in lines[2]
+
+    def test_table_ragged_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a"], [["x", "y"]])
+
+    def test_bar_chart(self):
+        out = render_bar_chart({"one": 1.0, "two": 2.0}, unit="s")
+        assert "one" in out and "#" in out
+
+    def test_bar_chart_empty(self):
+        with pytest.raises(ValueError):
+            render_bar_chart({})
+
+    def test_stacked_bars_legend(self):
+        out = render_stacked_bars(
+            {"x": {"a": 1.0, "b": 2.0}}, ["a", "b"]
+        )
+        assert "#=a" in out and "==b" in out
+
+    def test_series_grid(self):
+        out = render_series({"s": {1: 10.0, 2: 5.0}}, unit="s")
+        assert "10" in out and "5" in out
+
+    def test_pie_percentages(self):
+        out = render_pie({"a": 3.0, "b": 1.0})
+        assert "75.0%" in out and "25.0%" in out
+
+    def test_pie_invalid(self):
+        with pytest.raises(ValueError):
+            render_pie({"a": 0.0})
+
+
+class TestRunnerIntegration:
+    def test_small_sweep(self, runner):
+        results = runner.run_sweep(
+            sample_names=["2PV7"], thread_counts=[1, 4]
+        )
+        assert len(results) == 4  # 1 sample x 2 platforms x 2 threads
+        assert results.one("2PV7", "Server", 4).msa_seconds > 0
+
+    def test_desktop_auto_upgrade_on_6qnr(self, runner):
+        record = runner.run_one(
+            runner.samples["6QNR"], runner.platforms[1], threads=4
+        )
+        assert not record.oom
+        assert record.peak_memory_gib > 64
+
+    def test_records_match_pipeline(self, runner, samples):
+        record = runner.run_one(samples["2PV7"], runner.platforms[0], 4)
+        direct = runner.pipeline_for(runner.platforms[0]).run(
+            samples["2PV7"], threads=4
+        )
+        assert record.msa_seconds == pytest.approx(direct.msa_seconds)
+        assert record.compute_seconds == pytest.approx(
+            direct.inference.gpu_compute
+        )

@@ -1,0 +1,117 @@
+"""Table III calibration: the paper's qualitative counter findings.
+
+These tests pin the *shape* claims of Section V-B2a, using the real
+MSA traces.  Exact paper values are recorded in EXPERIMENTS.md; here we
+assert the findings that the paper draws conclusions from.
+"""
+
+import pytest
+
+from repro.hardware.cpu import CpuSimulator, RYZEN_7900X, XEON_5416S
+
+
+@pytest.fixture(scope="module")
+def reports(msa_engine, samples):
+    out = {}
+    for name in ("2PV7", "promo"):
+        trace = msa_engine.run(samples[name]).trace
+        for spec in (XEON_5416S, RYZEN_7900X):
+            sim = CpuSimulator(spec)
+            for threads in (1, 4, 6):
+                out[(name, spec.vendor, threads)] = sim.simulate(trace, threads)
+    return out
+
+
+class TestIntelFindings:
+    def test_intel_ipc_higher_than_amd(self, reports):
+        for name in ("2PV7", "promo"):
+            assert (
+                reports[(name, "intel", 1)].ipc
+                > reports[(name, "amd", 1)].ipc
+            )
+
+    def test_intel_ipc_near_paper_value(self, reports):
+        assert reports[("2PV7", "intel", 1)].ipc == pytest.approx(3.68, abs=0.25)
+
+    def test_intel_llc_miss_high_from_one_thread(self, reports):
+        # 30 MiB LLC is overwhelmed even single-threaded (paper: 56.2%).
+        assert reports[("2PV7", "intel", 1)].llc_miss_pct > 40.0
+
+    def test_intel_dtlb_negligible(self, reports):
+        # Effective transparent huge pages (paper: ~0.01%).
+        for threads in (1, 4, 6):
+            assert reports[("2PV7", "intel", threads)].dtlb_miss_pct < 0.1
+
+    def test_promo_on_intel_llc_falls_with_threads(self, reports):
+        # The counter-intuitive promo finding: prefetch-friendly
+        # repetitive patterns improve with parallelism (59.6% -> 38.6%).
+        llc1 = reports[("promo", "intel", 1)].llc_miss_pct
+        llc6 = reports[("promo", "intel", 6)].llc_miss_pct
+        assert llc6 < llc1 * 0.8
+
+    def test_promo_intel_ipc_stable(self, reports):
+        ipc1 = reports[("promo", "intel", 1)].ipc
+        ipc6 = reports[("promo", "intel", 6)].ipc
+        assert abs(ipc6 - ipc1) / ipc1 < 0.12
+
+
+class TestAmdFindings:
+    def test_amd_llc_miss_grows_markedly(self, reports):
+        # 1.1% -> 41.4% in the paper: capacity saturation with threads.
+        llc1 = reports[("2PV7", "amd", 1)].llc_miss_pct
+        llc6 = reports[("2PV7", "amd", 6)].llc_miss_pct
+        assert llc1 < 5.0
+        assert llc6 > 20.0
+
+    def test_amd_dtlb_pressure(self, reports):
+        # Paper: 20.1% at 1T growing to 37% at 6T.
+        d1 = reports[("2PV7", "amd", 1)].dtlb_miss_pct
+        d6 = reports[("2PV7", "amd", 6)].dtlb_miss_pct
+        assert 10.0 < d1 < 30.0
+        assert d6 > d1 * 1.3
+
+    def test_amd_promo_dtlb_lower_than_2pv7(self, reports):
+        # Repetitive access alleviates translation overhead (paper).
+        assert (
+            reports[("promo", "amd", 1)].dtlb_miss_pct
+            < reports[("2PV7", "amd", 1)].dtlb_miss_pct * 0.7
+        )
+
+    def test_amd_cache_miss_counter_falls_with_threads(self, reports):
+        mpki1 = reports[("2PV7", "amd", 1)].cache_miss_mpki
+        mpki6 = reports[("2PV7", "amd", 6)].cache_miss_mpki
+        assert mpki6 < mpki1
+
+    def test_amd_branch_miss_higher_than_intel(self, reports):
+        assert (
+            reports[("2PV7", "amd", 1)].branch_miss_pct
+            > 2 * reports[("2PV7", "intel", 1)].branch_miss_pct
+        )
+
+    def test_amd_promo_cache_misses_lower_than_2pv7(self, reports):
+        # Repetitive data caches well: promo's counter is far below
+        # 2PV7's on AMD (5.31 vs 15.1 in the paper).
+        assert (
+            reports[("promo", "amd", 1)].cache_miss_mpki
+            < reports[("2PV7", "amd", 1)].cache_miss_mpki
+        )
+
+
+class TestCrossPlatform:
+    def test_desktop_faster_end_to_end(self, reports):
+        # Observation 1: higher clocks win the CPU-bound MSA phase.
+        for name in ("2PV7", "promo"):
+            for threads in (1, 4, 6):
+                assert (
+                    reports[(name, "amd", threads)].seconds
+                    < reports[(name, "intel", threads)].seconds
+                )
+
+    def test_amd_frequency_advantage_modest_at_4t(self, reports):
+        # Despite a ~1.4x clock edge, AMD's 4T wall-clock advantage is
+        # modest (paper Section V-B2a).
+        ratio = (
+            reports[("2PV7", "intel", 4)].seconds
+            / reports[("2PV7", "amd", 4)].seconds
+        )
+        assert 1.0 < ratio < 1.6

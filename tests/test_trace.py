@@ -1,0 +1,96 @@
+"""Unit tests for the workload-trace abstraction."""
+
+import pytest
+
+from repro.trace import AccessPattern, OpRecord, Resource, WorkloadTrace
+
+
+def rec(fn="f", instr=100.0, **kw):
+    return OpRecord(function=fn, phase="msa.x", instructions=instr, **kw)
+
+
+class TestOpRecord:
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            rec(instr=-1)
+
+    def test_empty_function_rejected(self):
+        with pytest.raises(ValueError):
+            OpRecord(function="", phase="p")
+
+    def test_total_bytes(self):
+        r = rec(bytes_read=10, bytes_written=5)
+        assert r.total_bytes == 15
+
+    def test_scaled_extensive_only(self):
+        r = rec(instr=100, bytes_read=10, working_set_bytes=1000,
+                flops=50, disk_bytes=20)
+        s = r.scaled(2.0)
+        assert s.instructions == 200
+        assert s.bytes_read == 20
+        assert s.flops == 100
+        assert s.disk_bytes == 40
+        # Intensive quantities untouched:
+        assert s.working_set_bytes == 1000
+        assert s.pattern is r.pattern
+
+    def test_scaled_negative_rejected(self):
+        with pytest.raises(ValueError):
+            rec().scaled(-1)
+
+
+class TestWorkloadTrace:
+    def test_add_and_totals(self):
+        t = WorkloadTrace([rec(instr=10), rec(instr=20, bytes_read=5)])
+        assert len(t) == 2
+        assert t.total_instructions() == 30
+        assert t.total_bytes() == 5
+
+    def test_merge_preserves_order(self):
+        a = WorkloadTrace([rec("a")])
+        b = WorkloadTrace([rec("b")])
+        merged = a.merge(b)
+        assert [r.function for r in merged] == ["a", "b"]
+        assert len(a) == 1  # originals untouched
+
+    def test_filter_by_phase(self):
+        t = WorkloadTrace([
+            OpRecord("a", "msa.io", instructions=1),
+            OpRecord("b", "inference.compile", instructions=1),
+        ])
+        assert len(t.filter(phase_prefix="msa")) == 1
+
+    def test_filter_by_resource(self):
+        t = WorkloadTrace([
+            OpRecord("a", "x", instructions=1, resource=Resource.CPU),
+            OpRecord("b", "x", instructions=1, resource=Resource.GPU),
+        ])
+        assert len(t.filter(resource=Resource.GPU)) == 1
+
+    def test_by_function_coalesces(self):
+        t = WorkloadTrace([
+            rec("f", instr=10, bytes_read=1),
+            rec("f", instr=30, bytes_read=2,
+                pattern=AccessPattern.RANDOM, working_set_bytes=99),
+            rec("g", instr=5),
+        ])
+        grouped = t.by_function()
+        assert set(grouped) == {"f", "g"}
+        assert grouped["f"].instructions == 40
+        assert grouped["f"].bytes_read == 3
+        # Dominant (larger) record supplies the intensive attributes.
+        assert grouped["f"].pattern is AccessPattern.RANDOM
+        assert grouped["f"].working_set_bytes == 99
+
+    def test_function_shares_sum_to_one(self):
+        t = WorkloadTrace([rec("a", 25), rec("b", 75)])
+        shares = t.function_shares()
+        assert abs(sum(shares.values()) - 1.0) < 1e-12
+        assert shares["b"] == 0.75
+
+    def test_function_shares_empty(self):
+        assert WorkloadTrace().function_shares() == {}
+
+    def test_scaled_trace(self):
+        t = WorkloadTrace([rec(instr=10), rec(instr=20)])
+        assert t.scaled(0.5).total_instructions() == 15
