@@ -1,0 +1,89 @@
+"""Benchmarks of the serving-gateway discrete-event simulator.
+
+These measure the cost of running the simulation itself (event loop,
+batcher, cache) — the gateway simulates hours of serving traffic in
+milliseconds of wall clock, and these benchmarks keep it that way.
+
+Set REPRO_BENCH_QUICK=1 to shrink the request streams (used by CI).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.hardware.platform import get_platform
+from repro.serving import (
+    GatewayConfig,
+    PoissonArrivals,
+    ServingGateway,
+    build_request_stream,
+    sequential_warm_baseline,
+)
+from repro.sequences.builtin import builtin_samples
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+N_REQUESTS = 40 if QUICK else 200
+SERVER = get_platform("Server")
+
+
+def _stream(n=N_REQUESTS, rate=0.02, seed=42):
+    return build_request_stream(
+        list(builtin_samples().values()),
+        n=n,
+        arrivals=PoissonArrivals(rate, seed=seed),
+        seed=seed,
+    )
+
+
+def _run_gateway(stream, **overrides):
+    config = GatewayConfig(**overrides) if overrides else GatewayConfig()
+    return ServingGateway(SERVER, config).run(stream)
+
+
+def test_gateway_event_loop(benchmark):
+    """End-to-end simulation of the default gateway configuration."""
+    stream = _stream()
+    report = benchmark(_run_gateway, stream)
+    assert report.completed == len(stream)
+
+
+def test_gateway_no_batching(benchmark):
+    """Batch size 1 isolates queueing/cache overhead from coalescing."""
+    stream = _stream()
+    report = benchmark(
+        _run_gateway, stream, max_batch=1, max_wait_seconds=0.0
+    )
+    assert report.completed == len(stream)
+
+
+def test_gateway_with_timeouts(benchmark):
+    """Timeout + retry path exercises the heaviest event bookkeeping."""
+    stream = _stream(rate=0.05)
+    report = benchmark(
+        _run_gateway,
+        stream,
+        num_gpu_workers=2,
+        num_msa_workers=2,
+        timeout_seconds=600.0,
+        max_retries=2,
+    )
+    finished = report.completed + report.timed_out + report.failed_oom
+    assert finished + report.shed == len(stream)
+
+
+def test_sequential_baseline(benchmark):
+    """The no-gateway comparison point used by `repro serve-sim`."""
+    stream = _stream(n=20 if QUICK else 50)
+    makespan = benchmark(sequential_warm_baseline, SERVER, stream)
+    assert makespan > 0
+
+
+@pytest.mark.skipif(QUICK, reason="quick mode skips the speedup check")
+def test_gateway_beats_sequential_baseline():
+    """Acceptance: >= 2x simulated throughput over the warm baseline."""
+    stream = _stream()
+    report = _run_gateway(stream)
+    baseline = sequential_warm_baseline(SERVER, stream)
+    assert baseline / report.duration_seconds >= 2.0

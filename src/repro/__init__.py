@@ -59,6 +59,16 @@ from .sequences import (
     load_json,
     parse_json,
 )
+from .serving import (
+    GatewayConfig,
+    PoissonArrivals,
+    ServingGateway,
+    ServingReport,
+    ServingRequest,
+    TraceArrivals,
+    build_request_stream,
+    sequential_warm_baseline,
+)
 from .trace import AccessPattern, OpRecord, Resource, WorkloadTrace
 
 __version__ = "1.0.0"
@@ -89,13 +99,21 @@ __all__ = [
     "PLATFORMS",
     "PipelineResult",
     "Platform",
+    "PoissonArrivals",
     "Prediction",
     "Resource",
     "ResultSet",
     "RunRecord",
     "SERVER",
+    "ServingGateway",
+    "ServingReport",
+    "ServingRequest",
+    "GatewayConfig",
     "SweepConfig",
+    "TraceArrivals",
     "WorkloadTrace",
+    "build_request_stream",
+    "sequential_warm_baseline",
     "builtin_samples",
     "estimate",
     "get_sample",

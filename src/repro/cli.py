@@ -154,6 +154,68 @@ def cmd_estimate(args: argparse.Namespace) -> int:
     return 0 if report.safe_somewhere else 3
 
 
+def cmd_serve_sim(args: argparse.Namespace) -> int:
+    from .serving import (
+        GatewayConfig,
+        PoissonArrivals,
+        ServingGateway,
+        build_request_stream,
+        sequential_warm_baseline,
+    )
+
+    platform = get_platform(args.platform)
+    config = GatewayConfig(
+        num_gpu_workers=args.gpu_workers,
+        num_msa_workers=args.msa_workers,
+        max_batch=args.max_batch,
+        max_wait_seconds=args.max_wait,
+        queue_limit=args.queue_limit,
+        timeout_seconds=args.timeout,
+        max_retries=args.retries,
+        retry_backoff_seconds=args.backoff,
+    )
+    stream = build_request_stream(
+        list(builtin_samples().values()),
+        n=args.requests,
+        arrivals=PoissonArrivals(args.rate, seed=args.seed),
+        seed=args.seed,
+    )
+    gateway = ServingGateway(platform, config)
+    report = gateway.run(stream)
+    baseline = None
+    speedup = None
+    if not args.no_baseline:
+        baseline = sequential_warm_baseline(platform, stream)
+        if report.duration_seconds > 0:
+            speedup = baseline / report.duration_seconds
+    if args.format == "json":
+        summary = report.summary()
+        if baseline is not None:
+            summary["baseline_sequential_seconds"] = round(baseline, 6)
+            summary["speedup_over_sequential"] = (
+                round(speedup, 6) if speedup is not None else None
+            )
+        print(json.dumps(summary, indent=2))
+    else:
+        print(report.render())
+        if baseline is not None:
+            line = (
+                f"  baseline   : sequential warm server {baseline:,.0f} s "
+                f"for the same stream"
+            )
+            if speedup:
+                line += f" -> {speedup:.2f}x gateway speedup"
+                if report.completed < report.submitted:
+                    # Shed/timed-out requests never ran on the gateway,
+                    # so the makespan comparison flatters it.
+                    line += (
+                        f" (gateway finished only {report.completed}"
+                        f"/{report.submitted})"
+                    )
+            print(line)
+    return 0
+
+
 def cmd_samples(_args: argparse.Namespace) -> int:
     from .core.report import render_table
 
@@ -214,6 +276,36 @@ def build_parser() -> argparse.ArgumentParser:
     estimate.add_argument("--json", help="AF3 JSON input file")
     estimate.add_argument("--threads", type=int, default=8)
     estimate.set_defaults(func=cmd_estimate)
+
+    serve = sub.add_parser(
+        "serve-sim",
+        help="simulate the multi-worker serving gateway on a seeded "
+             "request stream (Section VI at scale)",
+    )
+    serve.add_argument("--platform", default="Server",
+                       choices=sorted(PLATFORMS))
+    serve.add_argument("--requests", type=int, default=200,
+                       help="number of requests in the stream")
+    serve.add_argument("--rate", type=float, default=0.02,
+                       help="Poisson arrival rate in requests/second")
+    serve.add_argument("--gpu-workers", type=int, default=4)
+    serve.add_argument("--msa-workers", type=int, default=4)
+    serve.add_argument("--max-batch", type=int, default=4,
+                       help="dynamic batching: max same-bucket batch size")
+    serve.add_argument("--max-wait", type=float, default=120.0,
+                       help="dynamic batching: max coalescing wait (s)")
+    serve.add_argument("--queue-limit", type=int, default=512,
+                       help="admission control: shed past this queue depth")
+    serve.add_argument("--timeout", type=float, default=None,
+                       help="per-attempt queue timeout (s); off by default")
+    serve.add_argument("--retries", type=int, default=2,
+                       help="max retries after a timeout")
+    serve.add_argument("--backoff", type=float, default=30.0,
+                       help="base retry backoff (s), doubled per attempt")
+    serve.add_argument("--no-baseline", action="store_true",
+                       help="skip the sequential warm-server comparison")
+    serve.add_argument("--format", choices=["text", "json"], default="text")
+    serve.set_defaults(func=cmd_serve_sim)
 
     samples = sub.add_parser("samples", help="list builtin inputs")
     samples.set_defaults(func=cmd_samples)

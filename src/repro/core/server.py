@@ -14,7 +14,7 @@ simulation exposes).
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..hardware.gpu import InferenceSimulator
 from ..hardware.platform import Platform
@@ -47,6 +47,33 @@ class RequestResult:
     compile_seconds: float    # paid once per new bucket
     compute_seconds: float
     finalize_seconds: float
+    msa_depth: int = 128      # depth the request was served with
+
+    @property
+    def latency_seconds(self) -> float:
+        return (
+            self.init_seconds + self.compile_seconds
+            + self.compute_seconds + self.finalize_seconds
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class BatchResult:
+    """Latency accounting for one batched executable invocation.
+
+    The serving gateway coalesces same-bucket requests and runs them
+    through a single warm worker; every member of the batch completes
+    together after ``latency_seconds``.
+    """
+
+    bucket: int
+    batch_size: int
+    num_tokens: Tuple[int, ...]
+    init_seconds: float       # paid only by a cold worker's first batch
+    compile_seconds: float    # paid once per new bucket on this worker
+    compute_seconds: float    # batched kernels: overhead amortised
+    finalize_seconds: float   # per-request output writing, scales with B
+    used_unified_memory: bool
 
     @property
     def latency_seconds(self) -> float:
@@ -57,7 +84,15 @@ class RequestResult:
 
 
 class InferenceServer:
-    """A warm AF3 serving process on one simulated platform."""
+    """A warm AF3 serving process on one simulated platform.
+
+    This is both the standalone single-stream server of the Section VI
+    proposal and the per-worker engine of
+    :class:`repro.serving.ServingGateway`: each gateway GPU worker owns
+    one ``InferenceServer`` and carries its own warm state (device
+    init, per-bucket executables), so worker counts and bucket routing
+    interact exactly as they would across real processes.
+    """
 
     def __init__(
         self,
@@ -76,6 +111,7 @@ class InferenceServer:
         self._initialized = False
         self._compiled_buckets: Dict[int, float] = {}
         self.history: List[RequestResult] = []
+        self.batch_history: List[BatchResult] = []
 
     @property
     def warm_buckets(self) -> List[int]:
@@ -106,27 +142,84 @@ class InferenceServer:
             compile_seconds=compile_s,
             compute_seconds=cold.gpu_compute,
             finalize_seconds=cold.finalization,
+            msa_depth=msa_depth,
         )
         self.history.append(result)
+        return result
+
+    def serve_batch(
+        self,
+        token_counts: Sequence[int],
+        msa_depth: int = 128,
+        allow_unified_memory: bool = True,
+    ) -> BatchResult:
+        """Run same-bucket requests as one batched executable invocation.
+
+        Every input pads to the bucket of the largest member (the
+        gateway's batcher only coalesces same-bucket requests, so in
+        practice they already share it).  The batch pays init/compile
+        only if this worker still owes them, amortises per-unit kernel
+        launch overhead across the batch, and scales flops and
+        finalisation with the batch size.
+
+        Raises :class:`~repro.hardware.gpu.GpuOutOfMemoryError` when the
+        batch's aggregate activations exceed device memory and unified
+        memory is disallowed — the gateway reacts by splitting the
+        batch.
+        """
+        if not token_counts:
+            raise ValueError("serve_batch needs at least one request")
+        bucket = bucket_for(max(token_counts), self.buckets)
+        cold = self._sim.run(
+            bucket, threads=1, msa_depth=msa_depth,
+            allow_unified_memory=allow_unified_memory,
+            batch_size=len(token_counts),
+        )
+        init = 0.0
+        if not self._initialized:
+            init = cold.initialization
+            self._initialized = True
+        compile_s = 0.0
+        if bucket not in self._compiled_buckets:
+            compile_s = cold.xla_compile
+            self._compiled_buckets[bucket] = compile_s
+        result = BatchResult(
+            bucket=bucket,
+            batch_size=len(token_counts),
+            num_tokens=tuple(token_counts),
+            init_seconds=init,
+            compile_seconds=compile_s,
+            compute_seconds=cold.gpu_compute,
+            finalize_seconds=cold.finalization,
+            used_unified_memory=cold.used_unified_memory,
+        )
+        self.batch_history.append(result)
         return result
 
     def total_seconds(self) -> float:
         return sum(r.latency_seconds for r in self.history)
 
-    def cold_equivalent_seconds(self, requests: Optional[List[InputSample]] = None
-                                ) -> float:
+    def cold_equivalent_seconds(self, requests: Optional[List[InputSample]] = None,
+                                msa_depth: int = 128) -> float:
         """What the same request stream costs in AF3's one-process-per-
         request Docker deployment (every request pays init + compile at
-        its exact size, no padding waste)."""
+        its exact size, no padding waste).
+
+        With no ``requests`` argument the served history is re-costed,
+        reusing each request's actual ``msa_depth``; explicit samples
+        fall back to the ``msa_depth`` parameter.
+        """
         total = 0.0
         if requests is None:
-            sizes = [(r.num_tokens,) for r in self.history]
-            for (tokens,) in sizes:
-                total += self._sim.run(tokens, threads=1, msa_depth=128).total
+            for r in self.history:
+                total += self._sim.run(
+                    r.num_tokens, threads=1, msa_depth=r.msa_depth
+                ).total
         else:
             for sample in requests:
                 total += self._sim.run(
-                    sample.assembly.num_tokens, threads=1, msa_depth=128
+                    sample.assembly.num_tokens, threads=1,
+                    msa_depth=msa_depth,
                 ).total
         return total
 

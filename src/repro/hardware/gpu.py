@@ -213,19 +213,36 @@ class InferenceSimulator:
         self.host_thread_penalty = host_thread_penalty
         self.chunked_triangle = chunked_triangle
 
-    def memory_demand_bytes(self, num_tokens: int) -> float:
-        return WEIGHTS_BYTES + activation_memory_bytes(
+    def memory_demand_bytes(
+        self, num_tokens: int, batch_size: int = 1
+    ) -> float:
+        """Device memory demand: one weight set plus per-sample
+        activations (a batch shares weights but not activations)."""
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        return WEIGHTS_BYTES + batch_size * activation_memory_bytes(
             num_tokens, chunked_triangle=self.chunked_triangle
         )
 
     def compute_seconds(
         self, num_tokens: int, msa_depth: int = 1,
-        allow_unified_memory: bool = True,
+        allow_unified_memory: bool = True, batch_size: int = 1,
     ) -> Dict[str, float]:
-        """Per-scope kernel seconds for the full inference recipe."""
+        """Per-scope kernel seconds for the full inference recipe.
+
+        ``batch_size > 1`` models serving-style batched execution of
+        same-shape inputs through one executable: per-unit launch/layout
+        overhead is paid once per aggregation unit regardless of batch
+        size (kernels batch along the leading dimension), while flops
+        and memory traffic scale with the batch — so batching amortises
+        exactly the overheads that dominate small inputs, and nothing
+        else.
+        """
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
         cfg = self.config
         costs = inference_costs(num_tokens, cfg, msa_depth=msa_depth)
-        demand = self.memory_demand_bytes(num_tokens)
+        demand = self.memory_demand_bytes(num_tokens, batch_size)
         spill = demand > self.gpu.memory_bytes
         if spill and not (
             allow_unified_memory and self.gpu.supports_unified_memory
@@ -251,7 +268,7 @@ class InferenceSimulator:
             else:
                 units = 1
                 scaled = cost
-            seconds = self.gpu.scope_time(scope, scaled, units)
+            seconds = self.gpu.scope_time(scope, scaled * batch_size, units)
             if not self.chunked_triangle and "triangle_attention" in scope:
                 seconds /= UNCHUNKED_TRIANGLE_SPEEDUP
             if spill:
@@ -263,17 +280,24 @@ class InferenceSimulator:
         self, num_tokens: int, threads: int = 1, msa_depth: int = 1,
         allow_unified_memory: bool = True,
         persistent_model_state: bool = False,
+        batch_size: int = 1,
     ) -> InferenceBreakdown:
         """Full inference-phase breakdown (Fig 8's bars).
 
         ``persistent_model_state=True`` models the paper's Section VI
         optimisation: a warm process that skips device init and reuses
         the compiled executable.
+
+        ``batch_size > 1`` times one batched executable invocation over
+        same-bucket inputs: init and compile are batch-independent (the
+        serving layer additionally amortises them across *batches*),
+        kernel time follows the batched cost model, and finalisation —
+        per-request output serialisation — scales with the batch.
         """
         if threads < 1:
             raise ValueError("threads must be >= 1")
         thread_factor = 1.0 + self.host_thread_penalty * (threads - 1)
-        demand = self.memory_demand_bytes(num_tokens)
+        demand = self.memory_demand_bytes(num_tokens, batch_size)
 
         if persistent_model_state:
             init = 0.5  # request setup only
@@ -292,12 +316,13 @@ class InferenceSimulator:
             ) * thread_factor
         compute = sum(
             self.compute_seconds(
-                num_tokens, msa_depth, allow_unified_memory
+                num_tokens, msa_depth, allow_unified_memory,
+                batch_size=batch_size,
             ).values()
         )
         finalize = (
             1.0 + FINALIZE_HOST_INSTRUCTIONS / self.host_ips
-        ) * thread_factor
+        ) * thread_factor * batch_size
         return InferenceBreakdown(
             initialization=init,
             xla_compile=compile_s,

@@ -1,0 +1,71 @@
+"""Concurrent AF3 serving: queueing, dynamic batching, caching, retries.
+
+This package turns the single-stream :class:`~repro.core.server.
+InferenceServer` into a simulated production gateway — N warm GPU
+workers behind a dynamic batcher, a decoupled MSA worker pool with a
+content-keyed result cache, and admission/timeout/retry policies —
+and reports the serving metrics (latency percentiles, utilisation,
+batch fill, cache hit rate) that the paper's Section VI proposals are
+ultimately judged by.
+
+Quickstart::
+
+    from repro import SERVER, builtin_samples
+    from repro.serving import (
+        PoissonArrivals, ServingGateway, build_request_stream,
+    )
+
+    stream = build_request_stream(
+        list(builtin_samples().values()), n=200,
+        arrivals=PoissonArrivals(rate_rps=0.02, seed=42),
+    )
+    report = ServingGateway(SERVER).run(stream)
+    print(report.render())
+"""
+
+from .batching import DynamicBatcher
+from .cache import CachedMsa, MsaResultCache, chain_content_key
+from .gateway import (
+    AnalyticMsaCostModel,
+    FunctionalMsaCostModel,
+    GatewayConfig,
+    MsaCost,
+    ServingGateway,
+    sequential_warm_baseline,
+    serving_trace,
+)
+from .metrics import LatencyStats, ServingReport, build_report, percentile
+from .queueing import (
+    ArrivalProcess,
+    BoundedFifo,
+    PoissonArrivals,
+    RequestState,
+    ServingRequest,
+    TraceArrivals,
+    build_request_stream,
+)
+
+__all__ = [
+    "AnalyticMsaCostModel",
+    "ArrivalProcess",
+    "BoundedFifo",
+    "CachedMsa",
+    "DynamicBatcher",
+    "FunctionalMsaCostModel",
+    "GatewayConfig",
+    "LatencyStats",
+    "MsaCost",
+    "MsaResultCache",
+    "PoissonArrivals",
+    "RequestState",
+    "ServingGateway",
+    "ServingReport",
+    "ServingRequest",
+    "TraceArrivals",
+    "build_report",
+    "build_request_stream",
+    "chain_content_key",
+    "percentile",
+    "sequential_warm_baseline",
+    "serving_trace",
+]

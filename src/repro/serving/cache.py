@@ -1,0 +1,84 @@
+"""Content-keyed MSA result cache (the AF_Cache-style serving win).
+
+The MSA phase dominates end-to-end AF3 time (paper Fig 3/7) and its
+result depends only on the input chains — not on when or for whom the
+request arrived.  A high-traffic gateway therefore caches MSA results
+keyed by *chain content*: two requests for the same assembly (or the
+same assembly under a different name) share one search.  The gateway
+additionally coalesces requests onto in-flight computations, so a
+burst of identical requests pays for exactly one MSA.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from collections import OrderedDict
+from typing import Optional
+
+from ..sequences.chain import Assembly
+
+
+def chain_content_key(assembly: Assembly) -> str:
+    """Deterministic key over the chains that drive the MSA phase.
+
+    Order-insensitive over chains (an A/B assembly equals a B/A one)
+    and includes molecule type and copy count — copies reuse one MSA
+    but change the paired-feature assembly, so they are part of the
+    content identity.
+    """
+    parts = sorted(
+        f"{chain.molecule_type.value}:{chain.copies}:{chain.sequence}"
+        for chain in assembly
+        if chain.molecule_type.is_polymer
+    )
+    digest = hashlib.sha256("|".join(parts).encode()).hexdigest()
+    return digest[:16]
+
+
+@dataclasses.dataclass(frozen=True)
+class CachedMsa:
+    """What the gateway needs to reuse a finished MSA phase."""
+
+    msa_seconds: float   # what the original computation cost
+    msa_depth: int       # depth fed to the inference cost model
+
+
+class MsaResultCache:
+    """Bounded LRU cache of completed MSA phases, keyed by content."""
+
+    def __init__(self, capacity: int = 128) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._store: "OrderedDict[str, CachedMsa]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def lookup(self, key: str) -> Optional[CachedMsa]:
+        entry = self._store.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._store.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def insert(self, key: str, entry: CachedMsa) -> None:
+        self._store[key] = entry
+        self._store.move_to_end(key)
+        while len(self._store) > self.capacity:
+            self._store.popitem(last=False)
+            self.evictions += 1
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._store
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

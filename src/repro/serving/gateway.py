@@ -1,0 +1,494 @@
+"""The multi-worker serving gateway: a discrete-event AF3 front end.
+
+The paper's Section VI argues that persistent, warm serving is the main
+throughput lever for AF3; ParaFold-style systems add a second one by
+decoupling the CPU-bound MSA phase from the GPU-bound inference phase
+and scheduling them on independent worker pools; AF_Cache adds a third
+by caching MSA results across a high-traffic request stream.  This
+module composes all three over the existing simulators:
+
+* arrivals (Poisson or trace-driven) feed a bounded admission queue —
+  load past the bound is shed instead of growing latency without limit;
+* an MSA worker pool serves cache misses, with requests for identical
+  chain content coalesced onto one in-flight computation;
+* a dynamic batcher coalesces same-bucket requests (max batch size,
+  max-wait deadline) for the warm GPU workers, each of which is a
+  :class:`~repro.core.server.InferenceServer` with its own warm state;
+* per-attempt timeouts with bounded exponential-backoff retries bound
+  tail latency, and batches that exceed device memory split instead of
+  killing the worker.
+
+Everything runs in simulated time on one deterministic event heap, so
+a seeded request stream reproduces byte-identical reports.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.server import DEFAULT_BUCKETS, InferenceServer
+from ..hardware.cpu import CpuSimulator
+from ..hardware.gpu import GpuOutOfMemoryError
+from ..hardware.platform import Platform
+from ..model.config import ModelConfig
+from ..sequences.sample import InputSample
+from ..trace import OpRecord, Resource, WorkloadTrace
+from .batching import DynamicBatcher
+from .cache import CachedMsa, MsaResultCache, chain_content_key
+from .metrics import ServingReport, build_report
+from .queueing import BoundedFifo, RequestState, ServingRequest
+
+
+@dataclasses.dataclass(frozen=True)
+class MsaCost:
+    """Service time and resulting depth of one MSA-phase execution."""
+
+    seconds: float
+    depth: int
+
+
+class AnalyticMsaCostModel:
+    """Closed-form MSA phase cost, calibrated to the paper's shape.
+
+    Protein chains pay jackhmmer-style superlinear scan cost; RNA
+    chains pay the far heavier nhmmer cost (the paper's Fig 2/4: RNA
+    search dominates mixed inputs).  Costs scale with the platform's
+    single-thread instruction rate and sublinearly with the worker's
+    thread count — the same saturation the thread-sweep experiments
+    show.  Deterministic and cheap: a 200-request stream costs 200
+    dictionary lookups, not 200 profile-HMM searches.
+    """
+
+    #: Instruction-count coefficients (chain length in residues).
+    PROTEIN_COEFF = 6.0e9
+    PROTEIN_EXP = 1.2
+    RNA_COEFF = 8.0e9
+    RNA_EXP = 1.35
+    OVERHEAD_INSTRUCTIONS = 1.2e11   # database streaming / setup
+    THREAD_EXP = 0.75                # sublinear thread scaling
+
+    def __init__(self, platform: Platform, threads: int = 8) -> None:
+        if threads < 1:
+            raise ValueError("threads must be >= 1")
+        self.platform = platform
+        self.threads = threads
+        self._cache: Dict[str, MsaCost] = {}
+
+    def cost(self, sample: InputSample) -> MsaCost:
+        key = chain_content_key(sample.assembly)
+        hit = self._cache.get(key)
+        if hit is not None:
+            return hit
+        instructions = self.OVERHEAD_INSTRUCTIONS
+        for chain in sample.msa_queries():
+            if chain.molecule_type.value == "rna":
+                instructions += self.RNA_COEFF * chain.length ** self.RNA_EXP
+            else:
+                instructions += (
+                    self.PROTEIN_COEFF * chain.length ** self.PROTEIN_EXP
+                )
+        rate = (
+            self.platform.host_single_thread_ips
+            * self.threads ** self.THREAD_EXP
+        )
+        depth = min(254, 32 + sample.assembly.total_residues // 6)
+        result = MsaCost(seconds=instructions / rate, depth=depth)
+        self._cache[key] = result
+        return result
+
+
+class FunctionalMsaCostModel:
+    """MSA cost from the functional engine + CPU simulator.
+
+    Runs the real profile-HMM searches once per distinct input and
+    replays the resulting trace on the platform's CPU model — full
+    fidelity, at the price of actually doing the searches.  Use with a
+    small :class:`~repro.msa.engine.MsaEngineConfig` in tests.
+    """
+
+    def __init__(self, platform: Platform, engine, threads: int = 8) -> None:
+        self.platform = platform
+        self.engine = engine
+        self.threads = threads
+        self._cpu_sim = CpuSimulator(platform.cpu)
+        self._cache: Dict[str, MsaCost] = {}
+
+    def cost(self, sample: InputSample) -> MsaCost:
+        key = chain_content_key(sample.assembly)
+        hit = self._cache.get(key)
+        if hit is not None:
+            return hit
+        phase = self.engine.run(sample)
+        report = self._cpu_sim.simulate(phase.trace, self.threads)
+        result = MsaCost(
+            seconds=report.seconds,
+            depth=phase.features.max_msa_depth,
+        )
+        self._cache[key] = result
+        return result
+
+
+@dataclasses.dataclass(frozen=True)
+class GatewayConfig:
+    """All gateway knobs in one place (defaults favour throughput)."""
+
+    num_gpu_workers: int = 4
+    num_msa_workers: int = 4
+    msa_threads_per_worker: int = 8
+    max_batch: int = 4
+    max_wait_seconds: float = 120.0   # batch-coalescing deadline
+    queue_limit: int = 512            # admission bound (queued requests)
+    timeout_seconds: Optional[float] = None   # per-attempt queue timeout
+    max_retries: int = 2
+    retry_backoff_seconds: float = 30.0       # doubles per attempt
+    allow_unified_memory: bool = True
+    msa_cache_entries: int = 128
+    buckets: Tuple[int, ...] = DEFAULT_BUCKETS
+
+    def __post_init__(self) -> None:
+        if self.num_gpu_workers < 1 or self.num_msa_workers < 1:
+            raise ValueError("worker counts must be >= 1")
+        if self.queue_limit < 1:
+            raise ValueError("queue_limit must be >= 1")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.timeout_seconds is not None and self.timeout_seconds <= 0:
+            raise ValueError("timeout_seconds must be positive when set")
+
+
+# Event kinds, in deterministic tie-break order at equal timestamps:
+# completions free resources before new work claims them.
+_EV_GPU_DONE = 0
+_EV_MSA_DONE = 1
+_EV_ARRIVAL = 2
+_EV_RETRY = 3
+_EV_TIMEOUT = 4
+_EV_BATCH_DEADLINE = 5
+
+
+class ServingGateway:
+    """Simulates a warm, batched, multi-worker AF3 serving deployment."""
+
+    def __init__(
+        self,
+        platform: Platform,
+        config: Optional[GatewayConfig] = None,
+        msa_cost_model=None,
+        model_config: Optional[ModelConfig] = None,
+    ) -> None:
+        self.platform = platform
+        self.config = config or GatewayConfig()
+        self.msa_cost_model = msa_cost_model or AnalyticMsaCostModel(
+            platform, threads=self.config.msa_threads_per_worker
+        )
+        self._model_config = model_config
+        self.workers: List[InferenceServer] = [
+            InferenceServer(platform, model_config, self.config.buckets)
+            for _ in range(self.config.num_gpu_workers)
+        ]
+
+    # -- simulation -----------------------------------------------------
+
+    def run(self, requests: Sequence[ServingRequest]) -> ServingReport:
+        cfg = self.config
+        self._events: List[Tuple[float, int, int, int, object]] = []
+        self._seq = 0
+        self._now = 0.0
+        self._cache = MsaResultCache(cfg.msa_cache_entries)
+        self._batcher = DynamicBatcher(cfg.max_batch, cfg.max_wait_seconds)
+        self._msa_queue = BoundedFifo()
+        self._inflight: Dict[str, ServingRequest] = {}   # key -> leader
+        self._waiters: Dict[str, List[ServingRequest]] = {}
+        self._waiting_count = 0
+        self._free_msa = list(range(cfg.num_msa_workers))
+        self._free_gpu = list(range(cfg.num_gpu_workers))
+        self._msa_busy = 0.0
+        self._gpu_busy = 0.0
+        self._batch_sizes: List[int] = []
+        self._retries = 0
+        self._oom_events = 0
+        self._coalesced = 0
+
+        for request in requests:
+            self._push(_EV_ARRIVAL, request.arrival_seconds, request)
+
+        last_time = 0.0
+        while self._events:
+            when, _, kind, _, payload = heapq.heappop(self._events)
+            self._now = when
+            last_time = max(last_time, when)
+            if kind == _EV_ARRIVAL or kind == _EV_RETRY:
+                self._admit(payload)
+            elif kind == _EV_MSA_DONE:
+                self._msa_done(*payload)
+            elif kind == _EV_GPU_DONE:
+                self._gpu_done(*payload)
+            elif kind == _EV_TIMEOUT:
+                self._timeout(*payload)
+            elif kind == _EV_BATCH_DEADLINE:
+                if payload.state is RequestState.QUEUED_BATCH:
+                    self._dispatch_gpu()
+
+        return build_report(
+            platform_name=self.platform.name,
+            requests=requests,
+            num_gpu_workers=cfg.num_gpu_workers,
+            num_msa_workers=cfg.num_msa_workers,
+            duration_seconds=last_time,
+            gpu_busy_seconds=self._gpu_busy,
+            msa_busy_seconds=self._msa_busy,
+            batch_sizes=self._batch_sizes,
+            max_batch=cfg.max_batch,
+            cache_hits=self._cache.hits,
+            cache_misses=self._cache.misses,
+            coalesced_msa=self._coalesced,
+            retries=self._retries,
+            oom_events=self._oom_events,
+        )
+
+    def _push(self, kind: int, when: float, payload: object) -> None:
+        self._seq += 1
+        heapq.heappush(self._events, (when, kind, kind, self._seq, payload))
+
+    def _queued_depth(self) -> int:
+        return (
+            len(self._msa_queue) + self._waiting_count
+            + self._batcher.depth()
+        )
+
+    # -- admission and the MSA stage ------------------------------------
+
+    def _admit(self, request: ServingRequest) -> None:
+        cfg, now = self.config, self._now
+        if self._queued_depth() >= cfg.queue_limit:
+            request.state = RequestState.SHED
+            return
+        request.attempts += 1
+        request.admitted_at = now
+        request.stage_entered_at = now
+        if cfg.timeout_seconds is not None:
+            self._push(
+                _EV_TIMEOUT, now + cfg.timeout_seconds,
+                (request, request.attempts),
+            )
+        key = chain_content_key(request.sample.assembly)
+        cached = self._cache.lookup(key)
+        if cached is not None:
+            request.msa_cache_hit = True
+            request.msa_depth = cached.msa_depth
+            self._to_batcher(request)
+            return
+        if key in self._inflight:
+            request.state = RequestState.WAIT_MSA_SHARED
+            request.msa_coalesced = True
+            self._waiters.setdefault(key, []).append(request)
+            self._waiting_count += 1
+            self._coalesced += 1
+            return
+        request.state = RequestState.QUEUED_MSA
+        self._inflight[key] = request
+        self._msa_queue.push(request)
+        self._assign_msa()
+
+    def _assign_msa(self) -> None:
+        while self._free_msa:
+            request = self._msa_queue.pop_valid(
+                lambda r: r.state is RequestState.QUEUED_MSA
+            )
+            if request is None:
+                return
+            worker = self._free_msa.pop(0)
+            request.msa_wait += self._now - request.stage_entered_at
+            request.state = RequestState.IN_MSA
+            cost = self.msa_cost_model.cost(request.sample)
+            request.msa_seconds = cost.seconds
+            request.msa_depth = cost.depth
+            self._msa_busy += cost.seconds
+            self._push(
+                _EV_MSA_DONE, self._now + cost.seconds, (worker, request)
+            )
+
+    def _msa_done(self, worker: int, request: ServingRequest) -> None:
+        key = chain_content_key(request.sample.assembly)
+        self._cache.insert(
+            key, CachedMsa(request.msa_seconds, request.msa_depth)
+        )
+        self._inflight.pop(key, None)
+        self._to_batcher(request)
+        for waiter in self._waiters.pop(key, []):
+            self._waiting_count -= 1
+            waiter.msa_depth = request.msa_depth
+            waiter.msa_wait += self._now - waiter.stage_entered_at
+            self._to_batcher(waiter)
+        self._free_msa.append(worker)
+        self._free_msa.sort()
+        self._assign_msa()
+
+    # -- the GPU stage --------------------------------------------------
+
+    def _to_batcher(self, request: ServingRequest) -> None:
+        request.state = RequestState.QUEUED_BATCH
+        request.stage_entered_at = self._now
+        bucket = request.bucket(self.config.buckets)
+        self._batcher.add(bucket, request, self._now)
+        if self.config.max_wait_seconds > 0:
+            self._push(
+                _EV_BATCH_DEADLINE,
+                self._now + self.config.max_wait_seconds,
+                request,
+            )
+        self._dispatch_gpu()
+
+    def _dispatch_gpu(self) -> None:
+        while self._free_gpu:
+            popped = self._batcher.pop_ready(self._now)
+            if popped is None:
+                return
+            bucket, batch = popped
+            worker_idx = self._free_gpu.pop(0)
+            engine = self.workers[worker_idx]
+            for member in batch:
+                member.batch_wait += self._now - member.stage_entered_at
+                member.state = RequestState.IN_GPU
+            depth = max(m.msa_depth for m in batch)
+            try:
+                result = engine.serve_batch(
+                    [m.num_tokens for m in batch],
+                    msa_depth=depth,
+                    allow_unified_memory=self.config.allow_unified_memory,
+                )
+            except GpuOutOfMemoryError:
+                self._oom_events += 1
+                self._free_gpu.append(worker_idx)
+                self._free_gpu.sort()
+                self._handle_oom(batch)
+                continue
+            self._batch_sizes.append(len(batch))
+            self._gpu_busy += result.latency_seconds
+            for member in batch:
+                member.gpu_seconds = result.latency_seconds
+                member.batch_size = len(batch)
+            self._push(
+                _EV_GPU_DONE,
+                self._now + result.latency_seconds,
+                (worker_idx, batch),
+            )
+
+    def _handle_oom(self, batch: List[ServingRequest]) -> None:
+        """A batch exceeded device memory: split it, or fail a singleton."""
+        if len(batch) == 1:
+            batch[0].state = RequestState.FAILED_OOM
+            batch[0].completion_seconds = None
+            return
+        bucket = max(m.bucket(self.config.buckets) for m in batch)
+        half = len(batch) // 2
+        for part in (batch[:half], batch[half:]):
+            for member in part:
+                member.state = RequestState.QUEUED_BATCH
+                member.stage_entered_at = self._now
+            self._batcher.add_forced(bucket, part)
+
+    def _gpu_done(self, worker_idx: int, batch: List[ServingRequest]) -> None:
+        for member in batch:
+            member.state = RequestState.DONE
+            member.completion_seconds = self._now
+        self._free_gpu.append(worker_idx)
+        self._free_gpu.sort()
+        self._dispatch_gpu()
+
+    # -- robustness -----------------------------------------------------
+
+    def _timeout(self, request: ServingRequest, attempt: int) -> None:
+        """Per-attempt queue timeout: only waiting states are preempted."""
+        if request.attempts != attempt or not request.state.waiting:
+            return
+        cfg, now = self.config, self._now
+        key = chain_content_key(request.sample.assembly)
+        if request.state is RequestState.QUEUED_MSA:
+            self._msa_queue.note_removed()
+            self._relinquish_leadership(request, key)
+        elif request.state is RequestState.WAIT_MSA_SHARED:
+            self._waiters[key].remove(request)
+            self._waiting_count -= 1
+        elif request.state is RequestState.QUEUED_BATCH:
+            self._batcher.remove(request)
+        if request.attempts >= 1 + cfg.max_retries:
+            request.state = RequestState.TIMED_OUT
+            return
+        request.state = RequestState.CREATED
+        backoff = cfg.retry_backoff_seconds * 2 ** (request.attempts - 1)
+        request.backoff_wait += backoff
+        self._retries += 1
+        self._push(_EV_RETRY, now + backoff, request)
+
+    def _relinquish_leadership(self, request: ServingRequest, key: str) -> None:
+        """A queued MSA leader left; promote a waiter or drop the key."""
+        if self._inflight.get(key) is not request:
+            return
+        waiters = self._waiters.get(key, [])
+        if waiters:
+            successor = waiters.pop(0)
+            self._waiting_count -= 1
+            successor.state = RequestState.QUEUED_MSA
+            self._inflight[key] = successor
+            self._msa_queue.push(successor)
+            self._assign_msa()
+        else:
+            del self._inflight[key]
+
+
+def serving_trace(requests: Sequence[ServingRequest]) -> WorkloadTrace:
+    """A :class:`WorkloadTrace` of the stream's waits and service times.
+
+    Queue and backoff intervals become ``Resource.WAIT`` records; MSA
+    and GPU service intervals carry their simulated seconds, so
+    ``trace.by_phase()`` reads back the latency decomposition the
+    gateway produced.
+    """
+    trace = WorkloadTrace()
+    for request in requests:
+        tag = f"req{request.request_id}"
+        trace.add(OpRecord.wait(tag, "serving.queue.msa", request.msa_wait))
+        trace.add(
+            OpRecord.wait(tag, "serving.queue.batch", request.batch_wait)
+        )
+        trace.add(
+            OpRecord.wait(tag, "serving.backoff", request.backoff_wait)
+        )
+        if not request.msa_cache_hit and not request.msa_coalesced:
+            trace.add(OpRecord(
+                function=tag, phase="serving.msa",
+                resource=Resource.CPU, seconds=request.msa_seconds,
+                parallel=True,
+            ))
+        if request.gpu_seconds:
+            trace.add(OpRecord(
+                function=tag, phase="serving.gpu",
+                resource=Resource.GPU, seconds=request.gpu_seconds,
+                parallel=False,
+            ))
+    return trace
+
+
+def sequential_warm_baseline(
+    platform: Platform,
+    requests: Sequence[ServingRequest],
+    msa_cost_model=None,
+    model_config: Optional[ModelConfig] = None,
+) -> float:
+    """Total seconds for the pre-gateway deployment: one warm
+    single-stream server handling the same requests back to back —
+    warm init/executable reuse, but no worker parallelism, no
+    batching, and no MSA cache."""
+    engine = InferenceServer(platform, model_config)
+    cost_model = msa_cost_model or AnalyticMsaCostModel(platform)
+    total = 0.0
+    for request in requests:
+        cost = cost_model.cost(request.sample)
+        total += cost.seconds
+        total += engine.submit(
+            request.sample, msa_depth=cost.depth
+        ).latency_seconds
+    return total

@@ -1,0 +1,235 @@
+"""Serving metrics: latency percentiles, utilisation, cache/batch rates.
+
+Everything here is deterministic — summaries round to fixed precision
+and serialise with sorted keys so a seeded simulation reproduces a
+byte-identical report across runs (the golden regression tests compare
+the serialised form directly).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from collections import OrderedDict
+from typing import Dict, List, Optional, Sequence
+
+from .queueing import RequestState, ServingRequest
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile (numpy's default), pure Python.
+
+    Deterministic and dependency-free so golden summaries do not move
+    with numpy versions.
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("q must be in [0, 100]")
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (len(ordered) - 1) * q / 100.0
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = rank - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+@dataclasses.dataclass(frozen=True)
+class LatencyStats:
+    """Percentile summary of one latency population (seconds)."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    max: float
+
+    @classmethod
+    def of(cls, values: Sequence[float]) -> "LatencyStats":
+        if not values:
+            return cls(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        return cls(
+            count=len(values),
+            mean=sum(values) / len(values),
+            p50=percentile(values, 50.0),
+            p95=percentile(values, 95.0),
+            p99=percentile(values, 99.0),
+            max=max(values),
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        return OrderedDict(
+            count=self.count,
+            mean=round(self.mean, 6),
+            p50=round(self.p50, 6),
+            p95=round(self.p95, 6),
+            p99=round(self.p99, 6),
+            max=round(self.max, 6),
+        )
+
+
+@dataclasses.dataclass
+class ServingReport:
+    """Everything one gateway simulation produces."""
+
+    platform_name: str
+    num_gpu_workers: int
+    num_msa_workers: int
+    duration_seconds: float          # first arrival to last event
+    submitted: int
+    completed: int
+    shed: int
+    timed_out: int
+    failed_oom: int
+    retries: int
+    oom_events: int
+    latency: LatencyStats            # end-to-end, completed requests
+    msa_queue_wait: LatencyStats
+    batch_queue_wait: LatencyStats
+    gpu_utilization: float
+    msa_utilization: float
+    batches_dispatched: int
+    mean_batch_size: float
+    batch_fill: float                # mean batch size / max batch
+    cache_hits: int
+    cache_misses: int
+    cache_hit_rate: float
+    coalesced_msa: int               # joined an in-flight computation
+    requests: List[ServingRequest] = dataclasses.field(
+        default_factory=list, repr=False
+    )
+
+    @property
+    def throughput_rps(self) -> float:
+        if self.duration_seconds <= 0:
+            return 0.0
+        return self.completed / self.duration_seconds
+
+    def summary(self) -> "OrderedDict[str, object]":
+        """Rounded, ordered, JSON-stable summary (golden-test surface)."""
+        return OrderedDict(
+            platform=self.platform_name,
+            gpu_workers=self.num_gpu_workers,
+            msa_workers=self.num_msa_workers,
+            duration_seconds=round(self.duration_seconds, 6),
+            submitted=self.submitted,
+            completed=self.completed,
+            shed=self.shed,
+            timed_out=self.timed_out,
+            failed_oom=self.failed_oom,
+            retries=self.retries,
+            oom_events=self.oom_events,
+            throughput_rps=round(self.throughput_rps, 9),
+            latency=self.latency.as_dict(),
+            msa_queue_wait=self.msa_queue_wait.as_dict(),
+            batch_queue_wait=self.batch_queue_wait.as_dict(),
+            gpu_utilization=round(self.gpu_utilization, 6),
+            msa_utilization=round(self.msa_utilization, 6),
+            batches_dispatched=self.batches_dispatched,
+            mean_batch_size=round(self.mean_batch_size, 6),
+            batch_fill=round(self.batch_fill, 6),
+            cache_hits=self.cache_hits,
+            cache_misses=self.cache_misses,
+            cache_hit_rate=round(self.cache_hit_rate, 6),
+            coalesced_msa=self.coalesced_msa,
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.summary(), indent=2)
+
+    def render(self) -> str:
+        s = self.summary()
+        lines = [
+            f"-- serving gateway on {self.platform_name}: "
+            f"{self.num_gpu_workers} GPU + {self.num_msa_workers} MSA "
+            f"workers --",
+            f"  requests   : {self.submitted} submitted, "
+            f"{self.completed} completed, {self.shed} shed, "
+            f"{self.timed_out} timed out, {self.failed_oom} OOM-failed",
+            f"  duration   : {self.duration_seconds:,.0f} s simulated  "
+            f"({s['throughput_rps'] * 3600:.1f} req/h)",
+            f"  latency    : p50 {self.latency.p50:,.0f} s   "
+            f"p95 {self.latency.p95:,.0f} s   p99 {self.latency.p99:,.0f} s",
+            f"  queue wait : MSA p95 {self.msa_queue_wait.p95:,.0f} s   "
+            f"batch p95 {self.batch_queue_wait.p95:,.0f} s",
+            f"  workers    : GPU {100 * self.gpu_utilization:.0f} % busy, "
+            f"MSA {100 * self.msa_utilization:.0f} % busy",
+            f"  batching   : {self.batches_dispatched} batches, "
+            f"mean size {self.mean_batch_size:.2f} "
+            f"(fill {100 * self.batch_fill:.0f} %)",
+            f"  MSA cache  : {self.cache_hits} hits / "
+            f"{self.cache_misses} misses "
+            f"({100 * self.cache_hit_rate:.0f} % hit rate, "
+            f"{self.coalesced_msa} coalesced in-flight)",
+        ]
+        if self.retries or self.oom_events:
+            lines.append(
+                f"  robustness : {self.retries} retries, "
+                f"{self.oom_events} OOM events"
+            )
+        return "\n".join(lines)
+
+
+def build_report(
+    platform_name: str,
+    requests: Sequence[ServingRequest],
+    num_gpu_workers: int,
+    num_msa_workers: int,
+    duration_seconds: float,
+    gpu_busy_seconds: float,
+    msa_busy_seconds: float,
+    batch_sizes: Sequence[int],
+    max_batch: int,
+    cache_hits: int,
+    cache_misses: int,
+    coalesced_msa: int,
+    retries: int,
+    oom_events: int,
+) -> ServingReport:
+    completed = [r for r in requests if r.state is RequestState.DONE]
+    latencies = [r.latency_seconds for r in completed]
+    total_cache = cache_hits + cache_misses
+    gpu_capacity = num_gpu_workers * duration_seconds
+    msa_capacity = num_msa_workers * duration_seconds
+    return ServingReport(
+        platform_name=platform_name,
+        num_gpu_workers=num_gpu_workers,
+        num_msa_workers=num_msa_workers,
+        duration_seconds=duration_seconds,
+        submitted=len(requests),
+        completed=len(completed),
+        shed=sum(1 for r in requests if r.state is RequestState.SHED),
+        timed_out=sum(
+            1 for r in requests if r.state is RequestState.TIMED_OUT
+        ),
+        failed_oom=sum(
+            1 for r in requests if r.state is RequestState.FAILED_OOM
+        ),
+        retries=retries,
+        oom_events=oom_events,
+        latency=LatencyStats.of(latencies),
+        msa_queue_wait=LatencyStats.of([r.msa_wait for r in completed]),
+        batch_queue_wait=LatencyStats.of([r.batch_wait for r in completed]),
+        gpu_utilization=(
+            gpu_busy_seconds / gpu_capacity if gpu_capacity > 0 else 0.0
+        ),
+        msa_utilization=(
+            msa_busy_seconds / msa_capacity if msa_capacity > 0 else 0.0
+        ),
+        batches_dispatched=len(batch_sizes),
+        mean_batch_size=(
+            sum(batch_sizes) / len(batch_sizes) if batch_sizes else 0.0
+        ),
+        batch_fill=(
+            sum(batch_sizes) / (len(batch_sizes) * max_batch)
+            if batch_sizes else 0.0
+        ),
+        cache_hits=cache_hits,
+        cache_misses=cache_misses,
+        cache_hit_rate=cache_hits / total_cache if total_cache else 0.0,
+        coalesced_msa=coalesced_msa,
+        requests=list(requests),
+    )

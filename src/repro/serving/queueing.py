@@ -1,0 +1,202 @@
+"""Request arrivals and queue primitives for the serving gateway.
+
+A serving simulation needs three things before any worker runs: a
+stream of timed requests (Poisson for open-loop load tests, explicit
+times for replaying a production trace), a request object that carries
+its own latency ledger through the pipeline stages, and a bounded FIFO
+whose depth the gateway's admission control can read cheaply.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import random
+from collections import deque
+from typing import Callable, Deque, Iterable, List, Optional, Sequence
+
+from ..core.server import bucket_for
+from ..sequences.sample import InputSample
+
+
+class RequestState(enum.Enum):
+    """Lifecycle of a request inside the gateway."""
+
+    CREATED = "created"
+    QUEUED_MSA = "queued_msa"          # waiting for an MSA worker
+    WAIT_MSA_SHARED = "wait_msa_shared"  # coalesced onto an in-flight MSA
+    IN_MSA = "in_msa"
+    QUEUED_BATCH = "queued_batch"      # waiting in the dynamic batcher
+    IN_GPU = "in_gpu"
+    DONE = "done"
+    SHED = "shed"                      # rejected by admission control
+    TIMED_OUT = "timed_out"            # retries exhausted
+    FAILED_OOM = "failed_oom"          # single request exceeds the device
+
+    @property
+    def terminal(self) -> bool:
+        return self in (
+            RequestState.DONE, RequestState.SHED,
+            RequestState.TIMED_OUT, RequestState.FAILED_OOM,
+        )
+
+    @property
+    def waiting(self) -> bool:
+        """States a per-attempt timeout can interrupt."""
+        return self in (
+            RequestState.QUEUED_MSA, RequestState.WAIT_MSA_SHARED,
+            RequestState.QUEUED_BATCH,
+        )
+
+
+@dataclasses.dataclass
+class ServingRequest:
+    """One inference request travelling through the gateway.
+
+    Mutable on purpose: the gateway simulation annotates the request
+    with per-stage waits and service times as events fire, and the
+    metrics layer reads the finished ledger back out.
+    """
+
+    request_id: int
+    sample: InputSample
+    arrival_seconds: float
+    state: RequestState = RequestState.CREATED
+    attempts: int = 0                 # completed admission attempts
+    admitted_at: float = 0.0          # admission time of current attempt
+    stage_entered_at: float = 0.0     # when the current queue was entered
+    msa_wait: float = 0.0
+    batch_wait: float = 0.0
+    backoff_wait: float = 0.0
+    msa_seconds: float = 0.0
+    gpu_seconds: float = 0.0
+    msa_cache_hit: bool = False
+    msa_coalesced: bool = False
+    msa_depth: int = 128
+    batch_size: int = 0
+    completion_seconds: Optional[float] = None
+
+    @property
+    def num_tokens(self) -> int:
+        return self.sample.assembly.num_tokens
+
+    def bucket(self, buckets) -> int:
+        return bucket_for(self.num_tokens, buckets)
+
+    @property
+    def latency_seconds(self) -> Optional[float]:
+        """End-to-end latency (first arrival to completion)."""
+        if self.completion_seconds is None:
+            return None
+        return self.completion_seconds - self.arrival_seconds
+
+
+class ArrivalProcess:
+    """Produces the arrival timestamps of an n-request stream."""
+
+    def times(self, n: int) -> List[float]:
+        raise NotImplementedError
+
+
+class PoissonArrivals(ArrivalProcess):
+    """Open-loop Poisson arrivals at ``rate_rps`` requests/second.
+
+    Uses :class:`random.Random` (not numpy) because its sequence is
+    guaranteed stable across Python versions — the golden regression
+    tests depend on byte-identical arrival traces.
+    """
+
+    def __init__(self, rate_rps: float, seed: int = 0) -> None:
+        if rate_rps <= 0:
+            raise ValueError("rate_rps must be > 0")
+        self.rate_rps = rate_rps
+        self.seed = seed
+
+    def times(self, n: int) -> List[float]:
+        rng = random.Random(self.seed)
+        now, out = 0.0, []
+        for _ in range(n):
+            now += rng.expovariate(self.rate_rps)
+            out.append(now)
+        return out
+
+
+class TraceArrivals(ArrivalProcess):
+    """Replay explicit (sorted, non-negative) arrival timestamps."""
+
+    def __init__(self, timestamps: Iterable[float]) -> None:
+        self.timestamps = sorted(float(t) for t in timestamps)
+        if self.timestamps and self.timestamps[0] < 0:
+            raise ValueError("arrival timestamps must be >= 0")
+
+    def times(self, n: int) -> List[float]:
+        if n > len(self.timestamps):
+            raise ValueError(
+                f"trace has {len(self.timestamps)} arrivals, {n} requested"
+            )
+        return self.timestamps[:n]
+
+
+def build_request_stream(
+    samples: Sequence[InputSample],
+    n: int,
+    arrivals: ArrivalProcess,
+    seed: int = 0,
+    weights: Optional[Sequence[float]] = None,
+) -> List[ServingRequest]:
+    """A seeded n-request stream drawn from ``samples``.
+
+    The sample draw uses its own :class:`random.Random` stream so the
+    mix is independent of the arrival process' randomness (changing the
+    rate does not reshuffle which samples arrive).
+    """
+    if not samples:
+        raise ValueError("need at least one sample to draw requests from")
+    rng = random.Random(seed ^ 0x5EED)
+    times = arrivals.times(n)
+    picks: List[InputSample]
+    if weights is not None:
+        if len(weights) != len(samples):
+            raise ValueError("weights must match samples")
+        picks = rng.choices(list(samples), weights=list(weights), k=n)
+    else:
+        picks = [samples[rng.randrange(len(samples))] for _ in range(n)]
+    return [
+        ServingRequest(request_id=i, sample=pick, arrival_seconds=t)
+        for i, (t, pick) in enumerate(zip(times, picks))
+    ]
+
+
+class BoundedFifo:
+    """FIFO with lazy invalidation, used as the MSA stage queue.
+
+    Timed-out requests are not physically removed (that would be O(n)
+    per timeout); ``pop_valid`` skips entries whose state no longer
+    matches, and ``valid_depth`` is maintained by the gateway through
+    explicit ``note_removed`` calls.
+    """
+
+    def __init__(self) -> None:
+        self._items: Deque[ServingRequest] = deque()
+        self._valid = 0
+
+    def push(self, request: ServingRequest) -> None:
+        self._items.append(request)
+        self._valid += 1
+
+    def note_removed(self) -> None:
+        """A queued entry was invalidated externally (timeout)."""
+        self._valid -= 1
+
+    def pop_valid(
+        self, predicate: Callable[[ServingRequest], bool]
+    ) -> Optional[ServingRequest]:
+        while self._items:
+            request = self._items.popleft()
+            if predicate(request):
+                self._valid -= 1
+                return request
+        return None
+
+    def __len__(self) -> int:
+        return self._valid

@@ -40,6 +40,10 @@ class Resource(enum.Enum):
     CPU = "cpu"
     GPU = "gpu"
     DISK = "disk"
+    #: Time spent occupying no resource at all — queueing delay, batch
+    #: coalescing waits, retry backoff.  Serving traces record these so
+    #: end-to-end latency decomposes into work vs waiting.
+    WAIT = "wait"
 
 
 @dataclasses.dataclass(frozen=True)
@@ -76,6 +80,11 @@ class OpRecord:
         patterns.
     disk_bytes:
         Bytes that must come from storage if not resident in page cache.
+    seconds:
+        Exogenous wall time, for records whose duration is decided by a
+        scheduler rather than derived from instruction counts — queue
+        waits, batch-coalescing delays, retry backoff (``Resource.WAIT``)
+        and already-simulated service intervals in serving traces.
     """
 
     function: str
@@ -91,12 +100,13 @@ class OpRecord:
     branch_rate: float = 0.12
     page_span_bytes: float = 0.0
     disk_bytes: float = 0.0
+    seconds: float = 0.0
 
     def __post_init__(self) -> None:
         for field in (
             "instructions", "bytes_read", "bytes_written",
             "working_set_bytes", "flops", "branch_rate",
-            "page_span_bytes", "disk_bytes",
+            "page_span_bytes", "disk_bytes", "seconds",
         ):
             if getattr(self, field) < 0:
                 raise ValueError(f"{field} must be >= 0")
@@ -123,6 +133,15 @@ class OpRecord:
             bytes_written=self.bytes_written * factor,
             flops=self.flops * factor,
             disk_bytes=self.disk_bytes * factor,
+            seconds=self.seconds * factor,
+        )
+
+    @classmethod
+    def wait(cls, function: str, phase: str, seconds: float) -> "OpRecord":
+        """A pure waiting interval (queueing, coalescing, backoff)."""
+        return cls(
+            function=function, phase=phase, resource=Resource.WAIT,
+            seconds=seconds, parallel=False, branch_rate=0.0,
         )
 
 
@@ -180,6 +199,44 @@ class WorkloadTrace:
     def total_disk_bytes(self) -> float:
         return sum(rec.disk_bytes for rec in self._records)
 
+    def total_seconds(self) -> float:
+        """Sum of exogenous record durations (serving/wait traces)."""
+        return sum(rec.seconds for rec in self._records)
+
+    def by_phase(self) -> "OrderedDict[str, OpRecord]":
+        """Coalesce records per phase tag (first-seen order preserved).
+
+        The serving layer tags records with queue/service phases
+        (``serving.queue.msa``, ``serving.gpu`` ...); this aggregation
+        is how a latency breakdown is read back out of a trace.
+        Extensive quantities sum; qualitative fields come from the
+        record contributing the most time (falling back to instructions
+        when no record carries exogenous seconds).
+        """
+        groups: "OrderedDict[str, List[OpRecord]]" = OrderedDict()
+        for rec in self._records:
+            groups.setdefault(rec.phase, []).append(rec)
+        out: "OrderedDict[str, OpRecord]" = OrderedDict()
+        for phase, recs in groups.items():
+            dominant = max(recs, key=lambda r: (r.seconds, r.instructions))
+            out[phase] = OpRecord(
+                function=dominant.function,
+                phase=phase,
+                instructions=sum(r.instructions for r in recs),
+                bytes_read=sum(r.bytes_read for r in recs),
+                bytes_written=sum(r.bytes_written for r in recs),
+                working_set_bytes=dominant.working_set_bytes,
+                pattern=dominant.pattern,
+                parallel=dominant.parallel,
+                resource=dominant.resource,
+                flops=sum(r.flops for r in recs),
+                branch_rate=dominant.branch_rate,
+                page_span_bytes=dominant.page_span_bytes,
+                disk_bytes=sum(r.disk_bytes for r in recs),
+                seconds=sum(r.seconds for r in recs),
+            )
+        return out
+
     def by_function(self) -> "OrderedDict[str, OpRecord]":
         """Coalesce records per function (first-seen order preserved).
 
@@ -207,6 +264,7 @@ class WorkloadTrace:
                 branch_rate=dominant.branch_rate,
                 page_span_bytes=dominant.page_span_bytes,
                 disk_bytes=sum(r.disk_bytes for r in recs),
+                seconds=sum(r.seconds for r in recs),
             )
         return out
 

@@ -3,6 +3,7 @@
 import math
 
 import numpy as np
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.msa.aligner import global_align
@@ -126,6 +127,112 @@ class TestGumbelProperties:
             np.clip(g.evalue(score, 10_000), 0, None)
         )
         assert abs(g.evalue(score, 10_000) - 1e-2) / 1e-2 < 1e-6
+
+
+class TestBucketProperties:
+    """Shape-bucket padding invariants (serving executable cache)."""
+
+    @given(st.integers(min_value=1, max_value=4096))
+    def test_pad_up_invariant(self, n):
+        from repro.core.server import DEFAULT_BUCKETS, bucket_for
+
+        bucket = bucket_for(n)
+        assert bucket >= n
+        assert bucket in DEFAULT_BUCKETS
+        # Smallest bucket that holds the input: every smaller bucket
+        # is too small.
+        smaller = [b for b in DEFAULT_BUCKETS if b < bucket]
+        assert all(b < n for b in smaller)
+
+    @given(
+        st.integers(min_value=1, max_value=4096),
+        st.integers(min_value=0, max_value=512),
+    )
+    def test_monotone(self, n, delta):
+        from repro.core.server import bucket_for
+
+        if n + delta <= 4096:
+            assert bucket_for(n) <= bucket_for(n + delta)
+
+    @given(st.integers(min_value=4097, max_value=100_000))
+    def test_past_largest_bucket_raises(self, n):
+        from repro.core.server import bucket_for
+
+        with pytest.raises(ValueError):
+            bucket_for(n)
+
+    @given(st.integers(min_value=1, max_value=4096))
+    def test_idempotent(self, n):
+        from repro.core.server import bucket_for
+
+        bucket = bucket_for(n)
+        assert bucket_for(bucket) == bucket
+
+
+op_records = st.builds(
+    OpRecord,
+    function=st.sampled_from(["f1", "f2", "f3"]),
+    phase=st.sampled_from(["p.a", "p.b", "q.a"]),
+    instructions=st.floats(min_value=0, max_value=1e12),
+    bytes_read=st.floats(min_value=0, max_value=1e12),
+    bytes_written=st.floats(min_value=0, max_value=1e12),
+    flops=st.floats(min_value=0, max_value=1e12),
+    disk_bytes=st.floats(min_value=0, max_value=1e12),
+    seconds=st.floats(min_value=0, max_value=1e6),
+)
+
+
+class TestTraceMergeProperties:
+    """Merge/accumulation invariants the serving traces rely on."""
+
+    @given(st.lists(op_records, max_size=8), st.lists(op_records, max_size=8))
+    def test_merge_totals_additive(self, a, b):
+        ta, tb = WorkloadTrace(a), WorkloadTrace(b)
+        merged = ta.merge(tb)
+        assert len(merged) == len(ta) + len(tb)
+        for total in ("total_instructions", "total_bytes", "total_flops",
+                      "total_disk_bytes", "total_seconds"):
+            lhs = getattr(merged, total)()
+            rhs = getattr(ta, total)() + getattr(tb, total)()
+            assert lhs == pytest.approx(rhs, rel=1e-12, abs=1e-9)
+            assert lhs >= 0.0
+
+    @given(st.lists(op_records, max_size=12))
+    def test_by_function_conserves_extensive_totals(self, records):
+        trace = WorkloadTrace(records)
+        grouped = trace.by_function().values()
+        assert sum(r.instructions for r in grouped) == pytest.approx(
+            trace.total_instructions(), rel=1e-12, abs=1e-9
+        )
+        assert sum(r.total_bytes for r in grouped) == pytest.approx(
+            trace.total_bytes(), rel=1e-12, abs=1e-9
+        )
+
+    @given(st.lists(op_records, max_size=12))
+    def test_by_phase_conserves_extensive_totals(self, records):
+        trace = WorkloadTrace(records)
+        grouped = trace.by_phase().values()
+        assert sum(r.seconds for r in grouped) == pytest.approx(
+            trace.total_seconds(), rel=1e-12, abs=1e-9
+        )
+        assert sum(r.instructions for r in grouped) == pytest.approx(
+            trace.total_instructions(), rel=1e-12, abs=1e-9
+        )
+        # One aggregate record per distinct phase, order preserved.
+        phases = [r.phase for r in grouped]
+        assert phases == sorted(set(phases), key=phases.index)
+
+    @given(st.lists(op_records, max_size=8),
+           st.floats(min_value=0, max_value=100))
+    def test_scaled_merge_commutes(self, records, factor):
+        trace = WorkloadTrace(records)
+        a = trace.scaled(factor).total_seconds()
+        b = trace.total_seconds() * factor
+        assert a == pytest.approx(b, rel=1e-12, abs=1e-9)
+
+    def test_negative_seconds_rejected(self):
+        with pytest.raises(ValueError):
+            OpRecord("f", "p", seconds=-1.0)
 
 
 class TestTraceProperties:
