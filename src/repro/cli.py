@@ -216,6 +216,61 @@ def cmd_serve_sim(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    import dataclasses
+    import os
+
+    from .faults import ChaosConfig, run_suite
+
+    quick = bool(os.environ.get("REPRO_BENCH_QUICK"))
+    base = ChaosConfig(
+        seed=args.seed,
+        platform=args.platform,
+        num_requests=(
+            args.requests if args.requests is not None
+            else (40 if quick else 120)
+        ),
+        arrival_rps=args.rate,
+        num_gpu_workers=args.gpu_workers,
+        num_msa_workers=args.msa_workers,
+        timeout_seconds=args.timeout,
+        max_retries=args.retries,
+        crashes=args.crashes,
+        preemptions=args.preemptions,
+        oom_spikes=args.oom_spikes,
+        db_stalls=args.db_stalls,
+        db_corruptions=args.db_corruptions,
+        slow_nodes=args.slow_nodes,
+        restart_seconds=args.restart,
+        breaker_failure_threshold=args.breaker_threshold,
+        breaker_cooldown_seconds=args.breaker_cooldown,
+        degraded_fallback=not args.no_degraded_fallback,
+    )
+    seeds = tuple(args.seeds) if args.seeds else (args.seed,)
+    results = run_suite(
+        seeds, base, check_determinism=not args.no_determinism_check
+    )
+    if args.format == "json":
+        print(json.dumps(
+            {str(seed): r.summary() for seed, r in results.items()},
+            indent=2,
+        ))
+    else:
+        for i, (seed, result) in enumerate(results.items()):
+            if i:
+                print()
+            print(result.render())
+    if all(r.ok for r in results.values()):
+        return 0
+    failing = [str(s) for s, r in results.items() if not r.ok]
+    print(
+        f"chaos: invariant violation or nondeterminism on "
+        f"seed(s) {', '.join(failing)}",
+        file=sys.stderr,
+    )
+    return 4
+
+
 def cmd_samples(_args: argparse.Namespace) -> int:
     from .core.report import render_table
 
@@ -306,6 +361,49 @@ def build_parser() -> argparse.ArgumentParser:
                        help="skip the sequential warm-server comparison")
     serve.add_argument("--format", choices=["text", "json"], default="text")
     serve.set_defaults(func=cmd_serve_sim)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run a seeded fault-injection campaign against the "
+             "serving gateway and check its invariants",
+    )
+    chaos.add_argument("--platform", default="Server",
+                       choices=sorted(PLATFORMS))
+    chaos.add_argument("--requests", type=int, default=None,
+                       help="requests per campaign (default 120, or 40 "
+                            "with REPRO_BENCH_QUICK=1)")
+    chaos.add_argument("--rate", type=float, default=0.02,
+                       help="Poisson arrival rate in requests/second")
+    chaos.add_argument("--gpu-workers", type=int, default=3)
+    chaos.add_argument("--msa-workers", type=int, default=3)
+    chaos.add_argument("--timeout", type=float, default=14400.0,
+                       help="per-attempt queue timeout (s)")
+    chaos.add_argument("--retries", type=int, default=2)
+    chaos.add_argument("--crashes", type=int, default=3,
+                       help="worker crashes to schedule")
+    chaos.add_argument("--preemptions", type=int, default=2)
+    chaos.add_argument("--oom-spikes", type=int, default=2)
+    chaos.add_argument("--db-stalls", type=int, default=3)
+    chaos.add_argument("--db-corruptions", type=int, default=2)
+    chaos.add_argument("--slow-nodes", type=int, default=2)
+    chaos.add_argument("--restart", type=float, default=300.0,
+                       help="crashed-worker restart delay (s)")
+    chaos.add_argument("--breaker-threshold", type=int, default=2,
+                       help="consecutive failures that eject a worker "
+                            "(0 disables the circuit breaker)")
+    chaos.add_argument("--breaker-cooldown", type=float, default=1800.0)
+    chaos.add_argument("--no-degraded-fallback", action="store_true",
+                       help="time out exhausted requests instead of "
+                            "serving reduced-depth results")
+    chaos.add_argument("--seeds", nargs="*", type=int, default=None,
+                       help="run one campaign per seed (default: the "
+                            "global --seed)")
+    chaos.add_argument("--no-determinism-check", action="store_true",
+                       help="skip the byte-identical rerun of each "
+                            "campaign")
+    chaos.add_argument("--format", choices=["text", "json"],
+                       default="text")
+    chaos.set_defaults(func=cmd_chaos)
 
     samples = sub.add_parser("samples", help="list builtin inputs")
     samples.set_defaults(func=cmd_samples)

@@ -112,10 +112,28 @@ class InferenceServer:
         self._compiled_buckets: Dict[int, float] = {}
         self.history: List[RequestResult] = []
         self.batch_history: List[BatchResult] = []
+        self.cold_starts = 0   # resets survived (crash recoveries)
 
     @property
     def warm_buckets(self) -> List[int]:
         return sorted(self._compiled_buckets)
+
+    @property
+    def warm(self) -> bool:
+        """Whether the process holds any warm state worth losing."""
+        return self._initialized or bool(self._compiled_buckets)
+
+    def reset(self) -> None:
+        """Model a process crash: all warm state is lost.
+
+        The restarted worker keeps its identity and history but owes
+        device init and per-bucket XLA compilation again — the next
+        request/batch pays the cold-start penalty the paper measures
+        (this is the re-warm cost the fault-injection layer accounts).
+        """
+        self._initialized = False
+        self._compiled_buckets.clear()
+        self.cold_starts += 1
 
     def submit(self, sample: InputSample, msa_depth: int = 128) -> RequestResult:
         """Serve one request, paying only the cold costs still owed."""
@@ -152,6 +170,8 @@ class InferenceServer:
         token_counts: Sequence[int],
         msa_depth: int = 128,
         allow_unified_memory: bool = True,
+        memory_pressure_bytes: float = 0.0,
+        slowdown: float = 1.0,
     ) -> BatchResult:
         """Run same-bucket requests as one batched executable invocation.
 
@@ -166,6 +186,10 @@ class InferenceServer:
         batch's aggregate activations exceed device memory and unified
         memory is disallowed — the gateway reacts by splitting the
         batch.
+
+        ``memory_pressure_bytes`` and ``slowdown`` pass straight to the
+        :class:`~repro.hardware.gpu.InferenceSimulator` fault hooks
+        (external memory pressure and slow-node kernel degradation).
         """
         if not token_counts:
             raise ValueError("serve_batch needs at least one request")
@@ -174,6 +198,8 @@ class InferenceServer:
             bucket, threads=1, msa_depth=msa_depth,
             allow_unified_memory=allow_unified_memory,
             batch_size=len(token_counts),
+            memory_pressure_bytes=memory_pressure_bytes,
+            slowdown=slowdown,
         )
         init = 0.0
         if not self._initialized:

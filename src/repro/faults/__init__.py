@@ -1,0 +1,61 @@
+"""Deterministic fault injection and recovery for the serving stack.
+
+``plan`` defines seeded fault schedules (:class:`FaultPlan`), ``recovery``
+the machinery that survives them (worker health, circuit breakers, MSA
+scan checkpoints), and ``chaos`` the campaign harness that runs seeded
+fault schedules against the gateway and checks its invariants.
+
+``chaos`` imports the serving package, which itself imports ``plan`` and
+``recovery`` — so it is loaded lazily here to keep the import graph
+acyclic.
+"""
+
+from .plan import (
+    FaultEvent,
+    FaultKind,
+    FaultPlan,
+    GPU_DOMAIN,
+    MSA_DOMAIN,
+    merge_plans,
+)
+from .recovery import (
+    BreakerState,
+    CheckpointStore,
+    CircuitBreaker,
+    FaultStats,
+    MsaCheckpoint,
+    WorkerHealth,
+)
+
+__all__ = [
+    "BreakerState",
+    "ChaosConfig",
+    "ChaosResult",
+    "CheckpointStore",
+    "CircuitBreaker",
+    "FaultEvent",
+    "FaultKind",
+    "FaultPlan",
+    "FaultStats",
+    "GPU_DOMAIN",
+    "InvariantViolation",
+    "MSA_DOMAIN",
+    "MsaCheckpoint",
+    "WorkerHealth",
+    "merge_plans",
+    "run_campaign",
+    "run_suite",
+]
+
+_CHAOS_EXPORTS = {
+    "ChaosConfig", "ChaosResult", "InvariantViolation",
+    "run_campaign", "run_suite",
+}
+
+
+def __getattr__(name):
+    if name in _CHAOS_EXPORTS:
+        from . import chaos
+
+        return getattr(chaos, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

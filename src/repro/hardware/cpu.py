@@ -387,14 +387,24 @@ class CpuSimulator:
 
     # ----- simulation --------------------------------------------------
 
-    def simulate(self, trace: WorkloadTrace, threads: int) -> CpuPhaseReport:
-        """Simulate a CPU trace at the given worker-thread count."""
+    def simulate(
+        self, trace: WorkloadTrace, threads: int, slowdown: float = 1.0
+    ) -> CpuPhaseReport:
+        """Simulate a CPU trace at the given worker-thread count.
+
+        ``slowdown`` is the ``repro.faults`` slow-node hook: a degraded
+        host (thermal throttling, a noisy neighbour) stretches wall
+        time uniformly — cycles and seconds scale, architectural counts
+        (instructions, misses) do not.
+        """
         if threads < 1:
             raise ValueError("threads must be >= 1")
         if threads > self.spec.threads:
             raise ValueError(
                 f"{threads} threads exceed {self.spec.name}'s {self.spec.threads}"
             )
+        if slowdown <= 0:
+            raise ValueError("slowdown must be > 0")
         co = self.spec.coeffs
         records = [r for r in trace if r.resource is Resource.CPU]
 
@@ -432,6 +442,12 @@ class CpuSimulator:
                 break
             bw_util = new_util
 
+        if slowdown != 1.0:
+            total_seconds *= slowdown
+            total_cycles *= slowdown
+            for slot in functions.values():
+                slot.seconds *= slowdown
+                slot.cycles *= slowdown
         return CpuPhaseReport(
             spec_name=self.spec.name,
             threads=threads,

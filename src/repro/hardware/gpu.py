@@ -227,6 +227,7 @@ class InferenceSimulator:
     def compute_seconds(
         self, num_tokens: int, msa_depth: int = 1,
         allow_unified_memory: bool = True, batch_size: int = 1,
+        memory_pressure_bytes: float = 0.0, slowdown: float = 1.0,
     ) -> Dict[str, float]:
         """Per-scope kernel seconds for the full inference recipe.
 
@@ -237,18 +238,32 @@ class InferenceSimulator:
         and memory traffic scale with the batch — so batching amortises
         exactly the overheads that dominate small inputs, and nothing
         else.
+
+        The last two knobs are fault-injection hooks (``repro.faults``):
+        ``memory_pressure_bytes`` models a co-located allocation eating
+        device memory (it tightens the OOM/spill decision without
+        changing this run's own demand), and ``slowdown`` scales kernel
+        time for a degraded device (thermal throttling, a slow node).
         """
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
+        if memory_pressure_bytes < 0:
+            raise ValueError("memory_pressure_bytes must be >= 0")
+        if slowdown <= 0:
+            raise ValueError("slowdown must be > 0")
         cfg = self.config
         costs = inference_costs(num_tokens, cfg, msa_depth=msa_depth)
         demand = self.memory_demand_bytes(num_tokens, batch_size)
-        spill = demand > self.gpu.memory_bytes
+        spill = demand + memory_pressure_bytes > self.gpu.memory_bytes
         if spill and not (
             allow_unified_memory and self.gpu.supports_unified_memory
         ):
+            pressure = (
+                f" (+{memory_pressure_bytes / GIB:.1f} GiB external pressure)"
+                if memory_pressure_bytes > 0 else ""
+            )
             raise GpuOutOfMemoryError(
-                f"{demand / GIB:.1f} GiB exceeds {self.gpu.name} "
+                f"{demand / GIB:.1f} GiB{pressure} exceeds {self.gpu.name} "
                 f"({self.gpu.memory_bytes / GIB:.0f} GiB)"
             )
         times: Dict[str, float] = {}
@@ -273,7 +288,7 @@ class InferenceSimulator:
                 seconds /= UNCHUNKED_TRIANGLE_SPEEDUP
             if spill:
                 seconds *= self.gpu.unified_memory_slowdown
-            times[scope] = seconds
+            times[scope] = seconds * slowdown
         return times
 
     def run(
@@ -281,6 +296,7 @@ class InferenceSimulator:
         allow_unified_memory: bool = True,
         persistent_model_state: bool = False,
         batch_size: int = 1,
+        memory_pressure_bytes: float = 0.0, slowdown: float = 1.0,
     ) -> InferenceBreakdown:
         """Full inference-phase breakdown (Fig 8's bars).
 
@@ -293,6 +309,11 @@ class InferenceSimulator:
         serving layer additionally amortises them across *batches*),
         kernel time follows the batched cost model, and finalisation —
         per-request output serialisation — scales with the batch.
+
+        ``memory_pressure_bytes``/``slowdown`` are the fault-injection
+        hooks documented on :meth:`compute_seconds`; pressure counts
+        toward the OOM/spill decision but not toward this run's own
+        reported demand, and slowdown scales kernel time only.
         """
         if threads < 1:
             raise ValueError("threads must be >= 1")
@@ -318,6 +339,8 @@ class InferenceSimulator:
             self.compute_seconds(
                 num_tokens, msa_depth, allow_unified_memory,
                 batch_size=batch_size,
+                memory_pressure_bytes=memory_pressure_bytes,
+                slowdown=slowdown,
             ).values()
         )
         finalize = (
@@ -328,6 +351,8 @@ class InferenceSimulator:
             xla_compile=compile_s,
             gpu_compute=compute,
             finalization=finalize,
-            used_unified_memory=demand > self.gpu.memory_bytes,
+            used_unified_memory=(
+                demand + memory_pressure_bytes > self.gpu.memory_bytes
+            ),
             device_memory_demand=demand,
         )

@@ -140,8 +140,31 @@ def build_database(
     return SequenceDatabase(spec=spec, records=records)
 
 
+class DatabaseCorruptionError(RuntimeError):
+    """A database stream produced bytes that fail record validation.
+
+    Raised (or recorded) when fault injection corrupts an in-flight
+    scan: the partial MSA built from the stream is unusable, so any
+    cached result or scan checkpoint derived from it must be
+    invalidated and the search rerun from a clean stream.
+    """
+
+    def __init__(self, database: str, shard: Optional[int] = None) -> None:
+        at = f" in shard {shard}" if shard is not None else ""
+        super().__init__(f"corrupt record stream in {database}{at}")
+        self.database = database
+        self.shard = shard
+
+
 #: Reader buffer block size (matches a typical 256 KiB readahead unit).
 BLOCK_BYTES = 256 * 1024
+
+#: Default number of checkpointable slices one full database scan is
+#: divided into.  A scan interrupted mid-stream resumes from its last
+#: completed shard instead of re-reading the whole database — 16 keeps
+#: the worst-case lost work at 1/16 of a scan while the checkpoint
+#: metadata stays tiny.
+SCAN_SHARDS = 16
 
 #: Average FASTA overhead per record (header + newlines), used to map
 #: sequence bytes to on-disk stream bytes.
@@ -180,7 +203,42 @@ class BufferedDatabaseReader:
         """Trace of streaming the paper-scale database ``passes`` times."""
         if passes < 1:
             raise ValueError("passes must be >= 1")
-        total = float(self.stream_bytes() * passes)
+        return self._trace_stream(float(self.stream_bytes() * passes))
+
+    def trace_partial_scan(
+        self, first_shard: int, total_shards: int = SCAN_SHARDS
+    ) -> WorkloadTrace:
+        """Trace of resuming a scan at ``first_shard`` of ``total_shards``.
+
+        A checkpointed search restarts here instead of at byte zero:
+        only the ``total_shards - first_shard`` remaining slices of the
+        paper-scale stream are read, so resumed I/O work is strictly
+        less than a cold re-scan whenever at least one shard completed.
+        """
+        if total_shards < 1:
+            raise ValueError("total_shards must be >= 1")
+        if not 0 <= first_shard <= total_shards:
+            raise ValueError("first_shard out of range")
+        fraction = (total_shards - first_shard) / total_shards
+        return self._trace_stream(float(self.stream_bytes()) * fraction)
+
+    def trace_stall(self, seconds: float) -> WorkloadTrace:
+        """Trace of an injected read stall (cold cache, degraded NVMe).
+
+        A pure ``Resource.WAIT`` interval on the stream: no
+        instructions retire and no bytes move, the scan just finishes
+        late — matching how an I/O stall shows up in host profiles
+        (iowait, not cycles).
+        """
+        if seconds < 0:
+            raise ValueError("stall seconds must be >= 0")
+        trace = WorkloadTrace()
+        trace.add(OpRecord.wait(
+            "copy_to_iter", f"{self.phase}.stall", seconds
+        ))
+        return trace
+
+    def _trace_stream(self, total: float) -> WorkloadTrace:
         trace = WorkloadTrace()
         trace.add(OpRecord(
             function="copy_to_iter",

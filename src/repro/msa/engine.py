@@ -27,6 +27,7 @@ from .database import (
     DatabaseSpec,
     PROTEIN_SEARCH_DBS,
     RNA_SEARCH_DBS,
+    SCAN_SHARDS,
     SequenceDatabase,
     build_database,
     total_on_disk_bytes,
@@ -67,6 +68,10 @@ class MsaEngineConfig:
     low_complexity_fraction: float = 0.08
     max_msa_rows: int = 256
     seed: int = 0
+    #: Checkpoint granularity of the database scans: a search that dies
+    #: mid-stream resumes from its last completed shard (see
+    #: :mod:`repro.faults`) instead of re-reading every database.
+    scan_shards: int = SCAN_SHARDS
 
 
 @dataclasses.dataclass
@@ -227,3 +232,22 @@ class MsaEngine:
         if sample.has_rna:
             specs.extend(self.config.rna_dbs)
         return total_on_disk_bytes(specs)
+
+    def resume_stream_bytes(
+        self, sample: InputSample, completed_shards: int
+    ) -> int:
+        """Paper-scale bytes a checkpoint-resumed scan still streams.
+
+        The sample's database scans are checkpointed every
+        ``config.scan_shards``-th of the stream; resuming after
+        ``completed_shards`` re-reads only the remainder — strictly
+        less than :meth:`database_footprint_bytes` once any shard
+        completed.
+        """
+        shards = self.config.scan_shards
+        if shards < 1:
+            raise ValueError("scan_shards must be >= 1")
+        if not 0 <= completed_shards <= shards:
+            raise ValueError("completed_shards out of range")
+        total = self.database_footprint_bytes(sample)
+        return total - total * completed_shards // shards

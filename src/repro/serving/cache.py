@@ -33,15 +33,25 @@ def chain_content_key(assembly: Assembly) -> str:
         if chain.molecule_type.is_polymer
     )
     digest = hashlib.sha256("|".join(parts).encode()).hexdigest()
-    return digest[:16]
+    # 32 hex chars = 128 bits.  The previous 16-char (64-bit) key made
+    # birthday collisions plausible at millions-of-users scale, and a
+    # colliding key silently serves one user's MSA for another's input
+    # — a cross-contamination bug, not just a cache miss.
+    return digest[:32]
 
 
 @dataclasses.dataclass(frozen=True)
 class CachedMsa:
-    """What the gateway needs to reuse a finished MSA phase."""
+    """What the gateway needs to reuse a finished MSA phase.
+
+    ``degraded`` marks a reduced-depth fault-fallback result; the
+    cache refuses to store those (a later identical request must not
+    inherit another request's degraded quality).
+    """
 
     msa_seconds: float   # what the original computation cost
     msa_depth: int       # depth fed to the inference cost model
+    degraded: bool = False
 
 
 class MsaResultCache:
@@ -55,6 +65,8 @@ class MsaResultCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.invalidations = 0
+        self.degraded_rejected = 0
 
     def lookup(self, key: str) -> Optional[CachedMsa]:
         entry = self._store.get(key)
@@ -65,12 +77,31 @@ class MsaResultCache:
         self.hits += 1
         return entry
 
-    def insert(self, key: str, entry: CachedMsa) -> None:
+    def insert(self, key: str, entry: CachedMsa) -> bool:
+        """Store a finished MSA; returns False for rejected entries.
+
+        Degraded-mode (reduced-depth fallback) results are never
+        cached: serving them to later full-quality requests would
+        silently propagate the degradation past the fault that caused
+        it.
+        """
+        if entry.degraded:
+            self.degraded_rejected += 1
+            return False
         self._store[key] = entry
         self._store.move_to_end(key)
         while len(self._store) > self.capacity:
             self._store.popitem(last=False)
             self.evictions += 1
+        return True
+
+    def invalidate(self, key: str) -> bool:
+        """Drop an entry whose underlying data is no longer trusted
+        (e.g. a fault corrupted the in-flight MSA that produced it)."""
+        if self._store.pop(key, None) is not None:
+            self.invalidations += 1
+            return True
+        return False
 
     def __len__(self) -> int:
         return len(self._store)

@@ -18,8 +18,20 @@ module composes all three over the existing simulators:
   tail latency, and batches that exceed device memory split instead of
   killing the worker.
 
+A :class:`~repro.faults.plan.FaultPlan` threads failure domains through
+the same event heap: workers crash (losing warm state — the restarted
+worker pays the paper's cold-start again), nodes get preempted or run
+slow, co-located allocations spike device memory, and database streams
+stall or corrupt mid-scan.  The recovery machinery answers each one:
+health-tracked restarts with re-warm cost accounting, MSA scan
+checkpoints that resume from the last completed DB shard, per-worker
+circuit breakers that eject repeatedly-failing workers and probe them
+back in, and an optional reduced-depth degraded fallback when retries
+are exhausted.
+
 Everything runs in simulated time on one deterministic event heap, so
-a seeded request stream reproduces byte-identical reports.
+a seeded request stream — with or without a fault plan — reproduces
+byte-identical reports.
 """
 
 from __future__ import annotations
@@ -29,10 +41,19 @@ import heapq
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.server import DEFAULT_BUCKETS, InferenceServer
+from ..faults.plan import FaultEvent, FaultKind, FaultPlan, GPU_DOMAIN, MSA_DOMAIN
+from ..faults.recovery import (
+    CheckpointStore,
+    CircuitBreaker,
+    FaultStats,
+    MsaCheckpoint,
+    WorkerHealth,
+)
 from ..hardware.cpu import CpuSimulator
 from ..hardware.gpu import GpuOutOfMemoryError
 from ..hardware.platform import Platform
 from ..model.config import ModelConfig
+from ..msa.database import SCAN_SHARDS
 from ..sequences.sample import InputSample
 from ..trace import OpRecord, Resource, WorkloadTrace
 from .batching import DynamicBatcher
@@ -146,6 +167,15 @@ class GatewayConfig:
     allow_unified_memory: bool = True
     msa_cache_entries: int = 128
     buckets: Tuple[int, ...] = DEFAULT_BUCKETS
+    # -- fault-recovery policy (only exercised under a FaultPlan,
+    #    except degraded_fallback which also covers plain timeouts) ----
+    restart_seconds: float = 180.0    # crash -> process back up
+    breaker_failure_threshold: int = 0    # consecutive failures to eject
+    #                                     # a worker; 0 disables breaking
+    breaker_cooldown_seconds: float = 1800.0
+    degraded_fallback: bool = False   # serve reduced depth, don't error
+    degraded_msa_depth: int = 16
+    msa_scan_shards: int = SCAN_SHARDS    # checkpoint granularity
 
     def __post_init__(self) -> None:
         if self.num_gpu_workers < 1 or self.num_msa_workers < 1:
@@ -156,16 +186,31 @@ class GatewayConfig:
             raise ValueError("max_retries must be >= 0")
         if self.timeout_seconds is not None and self.timeout_seconds <= 0:
             raise ValueError("timeout_seconds must be positive when set")
+        if self.restart_seconds <= 0:
+            raise ValueError("restart_seconds must be > 0")
+        if self.breaker_failure_threshold < 0:
+            raise ValueError("breaker_failure_threshold must be >= 0")
+        if self.breaker_cooldown_seconds < 0:
+            raise ValueError("breaker_cooldown_seconds must be >= 0")
+        if self.degraded_msa_depth < 1:
+            raise ValueError("degraded_msa_depth must be >= 1")
+        if self.msa_scan_shards < 1:
+            raise ValueError("msa_scan_shards must be >= 1")
 
 
 # Event kinds, in deterministic tie-break order at equal timestamps:
-# completions free resources before new work claims them.
+# completions free resources before recoveries return workers, both
+# before faults strike, and all of those before new work claims
+# anything.  (Fault-free runs only ever see the original five kinds,
+# whose relative order is unchanged.)
 _EV_GPU_DONE = 0
 _EV_MSA_DONE = 1
-_EV_ARRIVAL = 2
-_EV_RETRY = 3
-_EV_TIMEOUT = 4
-_EV_BATCH_DEADLINE = 5
+_EV_WORKER_UP = 2
+_EV_FAULT = 3
+_EV_ARRIVAL = 4
+_EV_RETRY = 5
+_EV_TIMEOUT = 6
+_EV_BATCH_DEADLINE = 7
 
 
 class ServingGateway:
@@ -177,6 +222,7 @@ class ServingGateway:
         config: Optional[GatewayConfig] = None,
         msa_cost_model=None,
         model_config: Optional[ModelConfig] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         self.platform = platform
         self.config = config or GatewayConfig()
@@ -184,6 +230,7 @@ class ServingGateway:
             platform, threads=self.config.msa_threads_per_worker
         )
         self._model_config = model_config
+        self.fault_plan = fault_plan
         self.workers: List[InferenceServer] = [
             InferenceServer(platform, model_config, self.config.buckets)
             for _ in range(self.config.num_gpu_workers)
@@ -210,13 +257,36 @@ class ServingGateway:
         self._retries = 0
         self._oom_events = 0
         self._coalesced = 0
+        # -- fault-injection state -------------------------------------
+        self.fault_stats = FaultStats()
+        self.checkpoints = CheckpointStore()
+        self.gpu_health = [
+            WorkerHealth(index=i, breaker=self._make_breaker())
+            for i in range(cfg.num_gpu_workers)
+        ]
+        self.msa_health = [
+            WorkerHealth(index=i, breaker=self._make_breaker())
+            for i in range(cfg.num_msa_workers)
+        ]
+        #: In-flight MSA job bookkeeping per worker:
+        #: (request, base_completed_shards, planned_seconds, corrupted)
+        self._msa_jobs: Dict[int, List[object]] = {}
+        #: In-flight GPU batch per worker (crash handling requeues it).
+        self._gpu_jobs: Dict[int, List[ServingRequest]] = {}
+        self.monotonic_violations = 0
 
         for request in requests:
             self._push(_EV_ARRIVAL, request.arrival_seconds, request)
+        if self.fault_plan is not None:
+            for event in self.fault_plan:
+                self._push(_EV_FAULT, event.time, event)
+                self.fault_stats.events_injected += 1
 
         last_time = 0.0
         while self._events:
             when, _, kind, _, payload = heapq.heappop(self._events)
+            if when < self._now:
+                self.monotonic_violations += 1
             self._now = when
             last_time = max(last_time, when)
             if kind == _EV_ARRIVAL or kind == _EV_RETRY:
@@ -230,6 +300,10 @@ class ServingGateway:
             elif kind == _EV_BATCH_DEADLINE:
                 if payload.state is RequestState.QUEUED_BATCH:
                     self._dispatch_gpu()
+            elif kind == _EV_WORKER_UP:
+                self._worker_up(*payload)
+            elif kind == _EV_FAULT:
+                self._on_fault(payload)
 
         return build_report(
             platform_name=self.platform.name,
@@ -246,7 +320,35 @@ class ServingGateway:
             coalesced_msa=self._coalesced,
             retries=self._retries,
             oom_events=self._oom_events,
+            fault_summary=self._fault_summary(),
         )
+
+    def _make_breaker(self) -> CircuitBreaker:
+        return CircuitBreaker(
+            self.config.breaker_failure_threshold,
+            self.config.breaker_cooldown_seconds,
+        )
+
+    def _fault_summary(self) -> Optional[Dict[str, object]]:
+        if self.fault_plan is None:
+            return None
+        summary: Dict[str, object] = {"plan": self.fault_plan.kind_counts()}
+        stats = self.fault_stats
+        stats.checkpoints_saved = self.checkpoints.saved
+        stats.checkpoint_resumes = self.checkpoints.resumed
+        stats.checkpoint_shards_saved = self.checkpoints.shards_saved
+        stats.cache_invalidations = self._cache.invalidations
+        stats.breaker_opens = sum(
+            h.breaker.opens for h in self.gpu_health + self.msa_health
+        )
+        stats.breaker_half_opens = sum(
+            h.breaker.half_opens for h in self.gpu_health + self.msa_health
+        )
+        stats.breaker_closes = sum(
+            h.breaker.closes for h in self.gpu_health + self.msa_health
+        )
+        summary.update(stats.as_dict())
+        return summary
 
     def _push(self, kind: int, when: float, payload: object) -> None:
         self._seq += 1
@@ -264,6 +366,7 @@ class ServingGateway:
         cfg, now = self.config, self._now
         if self._queued_depth() >= cfg.queue_limit:
             request.state = RequestState.SHED
+            request.failure_reason = "admission queue full"
             return
         request.attempts += 1
         request.admitted_at = now
@@ -300,30 +403,77 @@ class ServingGateway:
             if request is None:
                 return
             worker = self._free_msa.pop(0)
+            health = self.msa_health[worker]
             request.msa_wait += self._now - request.stage_entered_at
             request.state = RequestState.IN_MSA
             cost = self.msa_cost_model.cost(request.sample)
-            request.msa_seconds = cost.seconds
+            key = chain_content_key(request.sample.assembly)
+            base_shards = 0
+            checkpoint = self.checkpoints.take(key)
+            if checkpoint is not None:
+                base_shards = checkpoint.completed_shards
+                request.resumed_shards += base_shards
+            remaining = 1.0 - base_shards / self.config.msa_scan_shards
+            stall = health.take_stall()
+            if stall > 0:
+                request.msa_stall_wait += stall
+            planned = (
+                cost.seconds * remaining * health.active_slowdown(self._now)
+                + stall
+            )
+            request.msa_seconds = planned
             request.msa_depth = cost.depth
-            self._msa_busy += cost.seconds
+            self._msa_busy += planned
+            health.dispatches += 1
+            health.busy = True
+            health.job_started = self._now
+            health.job_expected_end = self._now + planned
+            self._msa_jobs[worker] = [request, base_shards, planned, False]
             self._push(
-                _EV_MSA_DONE, self._now + cost.seconds, (worker, request)
+                _EV_MSA_DONE, self._now + planned,
+                (worker, request, health.job_token),
             )
 
-    def _msa_done(self, worker: int, request: ServingRequest) -> None:
+    def _msa_done(
+        self, worker: int, request: ServingRequest, token: int
+    ) -> None:
+        health = self.msa_health[worker]
+        if not health.busy or health.job_token != token:
+            return   # stale completion: the worker crashed mid-scan
+        job = self._msa_jobs.pop(worker, None)
+        corrupted = bool(job and job[3])
+        health.busy = False
+        health.completions += 1
         key = chain_content_key(request.sample.assembly)
-        self._cache.insert(
-            key, CachedMsa(request.msa_seconds, request.msa_depth)
-        )
-        self._inflight.pop(key, None)
-        self._to_batcher(request)
-        for waiter in self._waiters.pop(key, []):
-            self._waiting_count -= 1
-            waiter.msa_depth = request.msa_depth
-            waiter.msa_wait += self._now - waiter.stage_entered_at
-            self._to_batcher(waiter)
-        self._free_msa.append(worker)
-        self._free_msa.sort()
+        if corrupted:
+            # The scan finished but its stream was corrupt: nothing it
+            # produced can be trusted — invalidate cached/checkpointed
+            # state for this content and rerun from a clean stream.
+            self._cache.invalidate(key)
+            self.checkpoints.invalidate(key)
+            health.breaker.record_failure()
+            request.fault_failures += 1
+            self.fault_stats.fault_retries += 1
+            request.state = RequestState.QUEUED_MSA
+            request.stage_entered_at = self._now
+            self._msa_queue.push(request)
+        else:
+            health.breaker.record_success()
+            cost = self.msa_cost_model.cost(request.sample)
+            self._cache.insert(
+                key,
+                CachedMsa(cost.seconds, cost.depth, degraded=False),
+            )
+            self._inflight.pop(key, None)
+            self._to_batcher(request)
+            for waiter in self._waiters.pop(key, []):
+                self._waiting_count -= 1
+                waiter.msa_depth = request.msa_depth
+                waiter.msa_wait += self._now - waiter.stage_entered_at
+                self._to_batcher(waiter)
+        if health.up and health.breaker.allows_dispatch:
+            self._free_msa.append(worker)
+            self._free_msa.sort()
         self._assign_msa()
 
     # -- the GPU stage --------------------------------------------------
@@ -348,32 +498,58 @@ class ServingGateway:
                 return
             bucket, batch = popped
             worker_idx = self._free_gpu.pop(0)
+            health = self.gpu_health[worker_idx]
             engine = self.workers[worker_idx]
             for member in batch:
                 member.batch_wait += self._now - member.stage_entered_at
                 member.state = RequestState.IN_GPU
             depth = max(m.msa_depth for m in batch)
+            health.dispatches += 1
             try:
                 result = engine.serve_batch(
                     [m.num_tokens for m in batch],
                     msa_depth=depth,
                     allow_unified_memory=self.config.allow_unified_memory,
+                    memory_pressure_bytes=health.active_pressure(self._now),
+                    slowdown=health.active_slowdown(self._now),
                 )
             except GpuOutOfMemoryError:
                 self._oom_events += 1
-                self._free_gpu.append(worker_idx)
-                self._free_gpu.sort()
+                health.aborts += 1
+                if health.active_pressure(self._now) > 0:
+                    self.fault_stats.oom_spike_ooms += 1
+                newly_open = health.breaker.record_failure()
+                if health.breaker.allows_dispatch:
+                    self._free_gpu.append(worker_idx)
+                    self._free_gpu.sort()
+                elif newly_open:
+                    self._push(
+                        _EV_WORKER_UP,
+                        self._now + health.breaker.cooldown_seconds,
+                        (GPU_DOMAIN, worker_idx, "probe"),
+                    )
                 self._handle_oom(batch)
                 continue
+            if health.needs_rewarm:
+                rewarm = result.init_seconds + result.compile_seconds
+                self.fault_stats.rewarm_events += 1
+                self.fault_stats.rewarm_seconds += rewarm
+                for member in batch:
+                    member.rewarm_seconds += rewarm
+                health.needs_rewarm = False
             self._batch_sizes.append(len(batch))
             self._gpu_busy += result.latency_seconds
+            health.busy = True
+            health.job_started = self._now
+            health.job_expected_end = self._now + result.latency_seconds
             for member in batch:
                 member.gpu_seconds = result.latency_seconds
                 member.batch_size = len(batch)
+            self._gpu_jobs[worker_idx] = list(batch)
             self._push(
                 _EV_GPU_DONE,
                 self._now + result.latency_seconds,
-                (worker_idx, batch),
+                (worker_idx, batch, health.job_token),
             )
 
     def _handle_oom(self, batch: List[ServingRequest]) -> None:
@@ -381,6 +557,7 @@ class ServingGateway:
         if len(batch) == 1:
             batch[0].state = RequestState.FAILED_OOM
             batch[0].completion_seconds = None
+            batch[0].failure_reason = "single request exceeds device memory"
             return
         bucket = max(m.bucket(self.config.buckets) for m in batch)
         half = len(batch) // 2
@@ -390,12 +567,22 @@ class ServingGateway:
                 member.stage_entered_at = self._now
             self._batcher.add_forced(bucket, part)
 
-    def _gpu_done(self, worker_idx: int, batch: List[ServingRequest]) -> None:
+    def _gpu_done(
+        self, worker_idx: int, batch: List[ServingRequest], token: int
+    ) -> None:
+        health = self.gpu_health[worker_idx]
+        if not health.busy or health.job_token != token:
+            return   # stale completion: the worker crashed mid-batch
+        health.busy = False
+        health.completions += 1
+        health.breaker.record_success()
+        self._gpu_jobs.pop(worker_idx, None)
         for member in batch:
             member.state = RequestState.DONE
             member.completion_seconds = self._now
-        self._free_gpu.append(worker_idx)
-        self._free_gpu.sort()
+        if health.up and health.breaker.allows_dispatch:
+            self._free_gpu.append(worker_idx)
+            self._free_gpu.sort()
         self._dispatch_gpu()
 
     # -- robustness -----------------------------------------------------
@@ -415,13 +602,32 @@ class ServingGateway:
         elif request.state is RequestState.QUEUED_BATCH:
             self._batcher.remove(request)
         if request.attempts >= 1 + cfg.max_retries:
+            if cfg.degraded_fallback:
+                self._degrade(request, "retries exhausted")
+                return
             request.state = RequestState.TIMED_OUT
+            request.failure_reason = "retries exhausted"
             return
         request.state = RequestState.CREATED
         backoff = cfg.retry_backoff_seconds * 2 ** (request.attempts - 1)
         request.backoff_wait += backoff
         self._retries += 1
         self._push(_EV_RETRY, now + backoff, request)
+
+    def _degrade(self, request: ServingRequest, why: str) -> None:
+        """Serve a reduced-depth result instead of erroring.
+
+        The request skips (or abandons) the full MSA phase and goes to
+        the GPU with a shallow ``degraded_msa_depth`` — the answer is
+        worse, never silently so: the request is flagged, counted
+        separately from full-quality completions, and its result is
+        barred from the MSA cache.
+        """
+        request.degraded = True
+        request.failure_reason = f"degraded fallback: {why}"
+        request.msa_depth = self.config.degraded_msa_depth
+        self.fault_stats.degraded_served += 1
+        self._to_batcher(request)
 
     def _relinquish_leadership(self, request: ServingRequest, key: str) -> None:
         """A queued MSA leader left; promote a waiter or drop the key."""
@@ -438,6 +644,229 @@ class ServingGateway:
         else:
             del self._inflight[key]
 
+    # -- fault injection and recovery -----------------------------------
+
+    def _on_fault(self, event: FaultEvent) -> None:
+        kind = event.kind
+        if kind is FaultKind.WORKER_CRASH:
+            applied = self._take_down(event, restart_after=None)
+        elif kind is FaultKind.PREEMPTION:
+            applied = self._take_down(event, restart_after=event.seconds)
+        elif kind is FaultKind.GPU_OOM_SPIKE:
+            applied = self._oom_spike(event)
+        elif kind is FaultKind.DB_READ_STALL:
+            applied = self._db_stall(event)
+        elif kind is FaultKind.DB_CORRUPTION:
+            applied = self._db_corruption(event)
+        elif kind is FaultKind.SLOW_NODE:
+            applied = self._slow_node(event)
+        else:   # pragma: no cover - exhaustive over FaultKind
+            applied = False
+        if applied:
+            self.fault_stats.events_applied += 1
+        else:
+            self.fault_stats.events_noop += 1
+
+    def _health_for(self, event: FaultEvent) -> Optional[WorkerHealth]:
+        pool = (
+            self.gpu_health if event.domain == GPU_DOMAIN
+            else self.msa_health
+        )
+        if event.worker >= len(pool):
+            return None   # plan generated for a larger deployment
+        return pool[event.worker]
+
+    def _take_down(
+        self, event: FaultEvent, restart_after: Optional[float]
+    ) -> bool:
+        """A worker leaves — crash (warm state lost, fixed restart
+        delay) or preemption (returns warm after the event window)."""
+        health = self._health_for(event)
+        if health is None or not health.up:
+            return False
+        crash = restart_after is None
+        health.up = False
+        if crash:
+            health.crashes += 1
+            if event.domain == GPU_DOMAIN:
+                self.fault_stats.gpu_crashes += 1
+            else:
+                self.fault_stats.msa_crashes += 1
+        else:
+            health.preemptions += 1
+            self.fault_stats.preemptions += 1
+        if event.domain == GPU_DOMAIN:
+            self._abort_gpu_job(event.worker, health)
+            engine = self.workers[event.worker]
+            if crash and engine.warm:
+                engine.reset()
+                health.needs_rewarm = True
+            if event.worker in self._free_gpu:
+                self._free_gpu.remove(event.worker)
+        else:
+            self._abort_msa_job(event.worker, health)
+            if event.worker in self._free_msa:
+                self._free_msa.remove(event.worker)
+        if crash:
+            if health.breaker.record_failure():
+                self._push(
+                    _EV_WORKER_UP,
+                    self._now + health.breaker.cooldown_seconds,
+                    (event.domain, event.worker, "probe"),
+                )
+            delay = self.config.restart_seconds
+            mode = "restart"
+        else:
+            delay = event.seconds
+            mode = "return"
+        self._push(
+            _EV_WORKER_UP, self._now + delay,
+            (event.domain, event.worker, mode),
+        )
+        # Work the dead worker dropped goes back to the survivors now.
+        if event.domain == GPU_DOMAIN:
+            self._dispatch_gpu()
+        else:
+            self._assign_msa()
+        return True
+
+    def _abort_gpu_job(self, worker: int, health: WorkerHealth) -> None:
+        if not health.busy:
+            return
+        # Un-run GPU time is handed back; the elapsed part stays burnt.
+        self._gpu_busy -= health.job_expected_end - self._now
+        batch = self._gpu_batch_of(worker)
+        health.invalidate_job()
+        health.aborts += 1
+        if batch:
+            bucket = max(m.bucket(self.config.buckets) for m in batch)
+            for member in batch:
+                member.gpu_seconds = 0.0
+                member.state = RequestState.QUEUED_BATCH
+                member.stage_entered_at = self._now
+                self.fault_stats.fault_retries += 1
+            self._batcher.add_forced(bucket, batch)
+
+    def _gpu_batch_of(self, worker: int) -> List[ServingRequest]:
+        """Take the batch currently executing on a GPU worker."""
+        return self._gpu_jobs.pop(worker, [])
+
+    def _abort_msa_job(self, worker: int, health: WorkerHealth) -> None:
+        if not health.busy:
+            return
+        self._msa_busy -= health.job_expected_end - self._now
+        job = self._msa_jobs.pop(worker, None)
+        health.invalidate_job()
+        health.aborts += 1
+        if not job:
+            return
+        request, base_shards, planned, corrupted = job
+        elapsed = self._now - health.job_started
+        shards = self.config.msa_scan_shards
+        if planned > 0 and not corrupted:
+            progressed = int(
+                (shards - base_shards) * (elapsed / planned)
+            )
+            completed = min(shards - 1, base_shards + progressed)
+        else:
+            completed = 0
+        key = chain_content_key(request.sample.assembly)
+        cost = self.msa_cost_model.cost(request.sample)
+        if completed > 0:
+            self.checkpoints.save(key, MsaCheckpoint(
+                completed_shards=completed,
+                total_shards=shards,
+                full_seconds=cost.seconds,
+                depth=cost.depth,
+            ))
+        request.fault_failures += 1
+        self.fault_stats.fault_retries += 1
+        request.state = RequestState.QUEUED_MSA
+        request.stage_entered_at = self._now
+        self._msa_queue.push(request)
+
+    def _oom_spike(self, event: FaultEvent) -> bool:
+        health = self._health_for(event)
+        if health is None or event.seconds <= 0:
+            return False
+        device = self.workers[event.worker]._sim.gpu
+        health.pressure_until = self._now + event.seconds
+        health.pressure_bytes = event.magnitude * device.memory_bytes
+        return True
+
+    def _db_stall(self, event: FaultEvent) -> bool:
+        health = self._health_for(event)
+        if health is None or event.seconds <= 0:
+            return False
+        stall = event.seconds
+        self.fault_stats.stalls_applied += 1
+        self.fault_stats.stall_seconds += stall
+        if health.busy:
+            job = self._msa_jobs.get(event.worker)
+            old_token = health.job_token
+            health.job_token += 1   # invalidate the scheduled finish
+            health.job_expected_end += stall
+            self._msa_busy += stall
+            if job is not None:
+                request = job[0]
+                job[2] += stall
+                request.msa_seconds += stall
+                request.msa_stall_wait += stall
+                self._push(
+                    _EV_MSA_DONE, health.job_expected_end,
+                    (event.worker, request, health.job_token),
+                )
+            else:   # pragma: no cover - busy workers always have a job
+                health.job_token = old_token
+        else:
+            # Nothing in flight: the stalled stream hits whatever scan
+            # starts next on this worker.
+            health.pending_stall += stall
+        return True
+
+    def _db_corruption(self, event: FaultEvent) -> bool:
+        health = self._health_for(event)
+        if health is None or not health.busy:
+            return False
+        job = self._msa_jobs.get(event.worker)
+        if job is None:   # pragma: no cover - busy implies a job
+            return False
+        job[3] = True
+        self.fault_stats.corruptions += 1
+        return True
+
+    def _slow_node(self, event: FaultEvent) -> bool:
+        health = self._health_for(event)
+        if health is None or event.seconds <= 0 or event.magnitude <= 1.0:
+            return False
+        health.slow_until = self._now + event.seconds
+        health.slow_factor = event.magnitude
+        return True
+
+    def _worker_up(self, domain: str, worker: int, mode: str) -> None:
+        health = (
+            self.gpu_health[worker] if domain == GPU_DOMAIN
+            else self.msa_health[worker]
+        )
+        if mode == "probe":
+            health.breaker.to_half_open()
+            if not health.up or health.busy:
+                return   # still down/busy; re-entry happens on its event
+        else:
+            health.up = True
+            health.restarts += 1
+            self.fault_stats.restarts += 1
+            if not health.breaker.allows_dispatch:
+                return   # breaker is open; the probe event re-admits it
+        pool = self._free_gpu if domain == GPU_DOMAIN else self._free_msa
+        if worker not in pool and not health.busy and health.up:
+            pool.append(worker)
+            pool.sort()
+        if domain == GPU_DOMAIN:
+            self._dispatch_gpu()
+        else:
+            self._assign_msa()
+
 
 def serving_trace(requests: Sequence[ServingRequest]) -> WorkloadTrace:
     """A :class:`WorkloadTrace` of the stream's waits and service times.
@@ -445,7 +874,9 @@ def serving_trace(requests: Sequence[ServingRequest]) -> WorkloadTrace:
     Queue and backoff intervals become ``Resource.WAIT`` records; MSA
     and GPU service intervals carry their simulated seconds, so
     ``trace.by_phase()`` reads back the latency decomposition the
-    gateway produced.
+    gateway produced.  Fault-recovery costs surface too: re-warm
+    (post-crash cold start) seconds under ``serving.rewarm`` and
+    injected DB stalls under ``serving.stall``.
     """
     trace = WorkloadTrace()
     for request in requests:
@@ -457,6 +888,14 @@ def serving_trace(requests: Sequence[ServingRequest]) -> WorkloadTrace:
         trace.add(
             OpRecord.wait(tag, "serving.backoff", request.backoff_wait)
         )
+        if request.rewarm_seconds:
+            trace.add(
+                OpRecord.wait(tag, "serving.rewarm", request.rewarm_seconds)
+            )
+        if request.msa_stall_wait:
+            trace.add(
+                OpRecord.wait(tag, "serving.stall", request.msa_stall_wait)
+            )
         if not request.msa_cache_hit and not request.msa_coalesced:
             trace.add(OpRecord(
                 function=tag, phase="serving.msa",

@@ -25,7 +25,10 @@ def percentile(values: Sequence[float], q: float) -> float:
     if not 0.0 <= q <= 100.0:
         raise ValueError("q must be in [0, 100]")
     if not values:
-        return 0.0
+        # Silent 0.0 here once masked all-shed / all-failed chaos runs
+        # as "p99 = 0 s"; an empty population has no percentiles.
+        # LatencyStats.of is the empty-safe aggregate entry point.
+        raise ValueError("percentile() of an empty sequence")
     ordered = sorted(values)
     if len(ordered) == 1:
         return ordered[0]
@@ -49,6 +52,9 @@ class LatencyStats:
 
     @classmethod
     def of(cls, values: Sequence[float]) -> "LatencyStats":
+        # The empty-safe entry point: an all-shed or all-failed run
+        # yields the well-defined zero-count stats object rather than
+        # tripping percentile()'s empty-sequence ValueError.
         if not values:
             return cls(0, 0.0, 0.0, 0.0, 0.0, 0.0)
         return cls(
@@ -80,12 +86,13 @@ class ServingReport:
     num_msa_workers: int
     duration_seconds: float          # first arrival to last event
     submitted: int
-    completed: int
+    completed: int                   # full-quality completions only
     shed: int
     timed_out: int
     failed_oom: int
     retries: int
     oom_events: int
+    degraded: int                    # served via reduced-depth fallback
     latency: LatencyStats            # end-to-end, completed requests
     msa_queue_wait: LatencyStats
     batch_queue_wait: LatencyStats
@@ -101,6 +108,10 @@ class ServingReport:
     requests: List[ServingRequest] = dataclasses.field(
         default_factory=list, repr=False
     )
+    #: Fault-injection and recovery counters (``FaultStats.as_dict()``
+    #: plus plan metadata); None when the run had no fault plan, so
+    #: fault-free summaries keep their historical schema exactly.
+    fault_summary: Optional[Dict[str, object]] = None
 
     @property
     def throughput_rps(self) -> float:
@@ -110,13 +121,14 @@ class ServingReport:
 
     def summary(self) -> "OrderedDict[str, object]":
         """Rounded, ordered, JSON-stable summary (golden-test surface)."""
-        return OrderedDict(
+        out = OrderedDict(
             platform=self.platform_name,
             gpu_workers=self.num_gpu_workers,
             msa_workers=self.num_msa_workers,
             duration_seconds=round(self.duration_seconds, 6),
             submitted=self.submitted,
             completed=self.completed,
+            degraded=self.degraded,
             shed=self.shed,
             timed_out=self.timed_out,
             failed_oom=self.failed_oom,
@@ -136,6 +148,9 @@ class ServingReport:
             cache_hit_rate=round(self.cache_hit_rate, 6),
             coalesced_msa=self.coalesced_msa,
         )
+        if self.fault_summary is not None:
+            out["faults"] = self.fault_summary
+        return out
 
     def to_json(self) -> str:
         return json.dumps(self.summary(), indent=2)
@@ -147,7 +162,8 @@ class ServingReport:
             f"{self.num_gpu_workers} GPU + {self.num_msa_workers} MSA "
             f"workers --",
             f"  requests   : {self.submitted} submitted, "
-            f"{self.completed} completed, {self.shed} shed, "
+            f"{self.completed} completed, {self.degraded} degraded, "
+            f"{self.shed} shed, "
             f"{self.timed_out} timed out, {self.failed_oom} OOM-failed",
             f"  duration   : {self.duration_seconds:,.0f} s simulated  "
             f"({s['throughput_rps'] * 3600:.1f} req/h)",
@@ -165,10 +181,23 @@ class ServingReport:
             f"({100 * self.cache_hit_rate:.0f} % hit rate, "
             f"{self.coalesced_msa} coalesced in-flight)",
         ]
-        if self.retries or self.oom_events:
+        if self.retries or self.oom_events or self.degraded:
             lines.append(
                 f"  robustness : {self.retries} retries, "
-                f"{self.oom_events} OOM events"
+                f"{self.oom_events} OOM events, "
+                f"{self.degraded} degraded (reduced-depth) responses"
+            )
+        if self.fault_summary is not None:
+            f = self.fault_summary
+            lines.append(
+                f"  faults     : {f.get('events_injected', 0)} injected "
+                f"({f.get('events_applied', 0)} applied), "
+                f"{f.get('gpu_crashes', 0)}+{f.get('msa_crashes', 0)} "
+                f"GPU/MSA crashes, {f.get('restarts', 0)} restarts "
+                f"({f.get('rewarm_seconds', 0.0):,.0f} s re-warm), "
+                f"{f.get('checkpoint_resumes', 0)} checkpoint resumes, "
+                f"breaker {f.get('breaker_opens', 0)} opens / "
+                f"{f.get('breaker_closes', 0)} closes"
             )
         return "\n".join(lines)
 
@@ -188,8 +217,11 @@ def build_report(
     coalesced_msa: int,
     retries: int,
     oom_events: int,
+    fault_summary: Optional[Dict[str, object]] = None,
 ) -> ServingReport:
-    completed = [r for r in requests if r.state is RequestState.DONE]
+    finished = [r for r in requests if r.state is RequestState.DONE]
+    completed = [r for r in finished if not r.degraded]
+    degraded = [r for r in finished if r.degraded]
     latencies = [r.latency_seconds for r in completed]
     total_cache = cache_hits + cache_misses
     gpu_capacity = num_gpu_workers * duration_seconds
@@ -201,6 +233,7 @@ def build_report(
         duration_seconds=duration_seconds,
         submitted=len(requests),
         completed=len(completed),
+        degraded=len(degraded),
         shed=sum(1 for r in requests if r.state is RequestState.SHED),
         timed_out=sum(
             1 for r in requests if r.state is RequestState.TIMED_OUT
@@ -232,4 +265,5 @@ def build_report(
         cache_hit_rate=cache_hits / total_cache if total_cache else 0.0,
         coalesced_msa=coalesced_msa,
         requests=list(requests),
+        fault_summary=fault_summary,
     )

@@ -75,6 +75,13 @@ class ServingRequest:
     msa_depth: int = 128
     batch_size: int = 0
     completion_seconds: Optional[float] = None
+    # -- fault-injection ledger (all zero on fault-free runs) ---------
+    degraded: bool = False            # served via reduced-depth fallback
+    failure_reason: Optional[str] = None  # why it shed/failed/degraded
+    fault_failures: int = 0           # fault-caused reruns (corruption)
+    rewarm_seconds: float = 0.0       # crash-recovery cold start it paid
+    msa_stall_wait: float = 0.0       # injected DB read stalls endured
+    resumed_shards: int = 0           # DB shards its resumes skipped
 
     @property
     def num_tokens(self) -> int:
