@@ -271,6 +271,120 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 4
 
 
+def _observed_run(args: argparse.Namespace):
+    """Run one seeded gateway simulation with span recording attached.
+
+    Returns ``(probe, report)``.  With ``--chaos`` the run is built
+    through the chaos harness (same default fault mix as the ``chaos``
+    subcommand); otherwise it is a fault-free ``serve-sim``-style run.
+    Either way the simulation itself is identical to the un-observed
+    one — the probe only listens.
+    """
+    from .observability import SpanProbe
+
+    probe = SpanProbe()
+    if args.chaos:
+        from .faults.chaos import _build
+
+        config = _chaos_config_from_args(args)
+        gateway, stream, _plan = _build(config, probe=probe)
+    else:
+        from .serving import (
+            GatewayConfig,
+            PoissonArrivals,
+            ServingGateway,
+            build_request_stream,
+        )
+
+        platform = get_platform(args.platform)
+        config = GatewayConfig(
+            num_gpu_workers=args.gpu_workers,
+            num_msa_workers=args.msa_workers,
+            max_batch=args.max_batch,
+            max_wait_seconds=args.max_wait,
+            queue_limit=args.queue_limit,
+            timeout_seconds=args.timeout,
+            max_retries=args.retries,
+            retry_backoff_seconds=args.backoff,
+        )
+        stream = build_request_stream(
+            list(builtin_samples().values()),
+            n=args.requests,
+            arrivals=PoissonArrivals(args.rate, seed=args.seed),
+            seed=args.seed,
+        )
+        gateway = ServingGateway(platform, config, probe=probe)
+    report = gateway.run(stream)
+    return probe, report
+
+
+def _chaos_config_from_args(args: argparse.Namespace):
+    """The chaos campaign config an ``observe --chaos`` run uses."""
+    from .faults import ChaosConfig
+
+    return ChaosConfig(
+        seed=args.seed,
+        platform=args.platform,
+        num_requests=args.requests,
+        arrival_rps=args.rate,
+        num_gpu_workers=args.gpu_workers,
+        num_msa_workers=args.msa_workers,
+        timeout_seconds=args.timeout if args.timeout else 14400.0,
+        max_retries=args.retries,
+    )
+
+
+def _write_out(text: str, out: Optional[str]) -> None:
+    if out and out != "-":
+        with open(out, "w") as handle:
+            handle.write(text)
+    else:
+        sys.stdout.write(text)
+
+
+def cmd_observe_export_trace(args: argparse.Namespace) -> int:
+    from .observability import chrome_trace_json
+
+    probe, _report = _observed_run(args)
+    metadata = {
+        "seed": args.seed,
+        "platform": args.platform,
+        "requests": args.requests,
+        "chaos": bool(args.chaos),
+    }
+    text = chrome_trace_json(
+        probe.recorder, metadata=metadata, indent=args.indent
+    )
+    if not text.endswith("\n"):
+        text += "\n"
+    _write_out(text, args.out)
+    return 0
+
+
+def cmd_observe_export_metrics(args: argparse.Namespace) -> int:
+    from .observability import prometheus_metrics
+
+    _probe, report = _observed_run(args)
+    _write_out(prometheus_metrics(report), args.out)
+    return 0
+
+
+def cmd_observe_explain(args: argparse.Namespace) -> int:
+    from .observability import explain
+
+    probe, _report = _observed_run(args)
+    try:
+        print(explain(probe.recorder, args.request_id))
+    except KeyError:
+        print(
+            f"no spans recorded for request {args.request_id} "
+            f"(stream had --requests {args.requests})",
+            file=sys.stderr,
+        )
+        return 2
+    return 0
+
+
 def cmd_samples(_args: argparse.Namespace) -> int:
     from .core.report import render_table
 
@@ -404,6 +518,61 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--format", choices=["text", "json"],
                        default="text")
     chaos.set_defaults(func=cmd_chaos)
+
+    observe_common = argparse.ArgumentParser(add_help=False)
+    observe_common.add_argument("--platform", default="Server",
+                                choices=sorted(PLATFORMS))
+    observe_common.add_argument("--requests", type=int, default=40,
+                                help="number of requests in the stream")
+    observe_common.add_argument("--rate", type=float, default=0.02,
+                                help="Poisson arrival rate in req/s")
+    observe_common.add_argument("--gpu-workers", type=int, default=3)
+    observe_common.add_argument("--msa-workers", type=int, default=3)
+    observe_common.add_argument("--max-batch", type=int, default=4)
+    observe_common.add_argument("--max-wait", type=float, default=120.0)
+    observe_common.add_argument("--queue-limit", type=int, default=512)
+    observe_common.add_argument("--timeout", type=float, default=None,
+                                help="per-attempt queue timeout (s)")
+    observe_common.add_argument("--retries", type=int, default=2)
+    observe_common.add_argument("--backoff", type=float, default=30.0)
+    observe_common.add_argument("--chaos", action="store_true",
+                                help="inject the default chaos fault mix "
+                                     "into the observed run")
+
+    observe = sub.add_parser(
+        "observe",
+        help="re-run a seeded gateway simulation with span recording "
+             "and export/inspect its timeline",
+    )
+    observe_sub = observe.add_subparsers(dest="observe_command",
+                                         required=True)
+
+    export_trace = observe_sub.add_parser(
+        "export-trace", parents=[observe_common],
+        help="Chrome/Perfetto trace-event JSON (open in "
+             "https://ui.perfetto.dev or chrome://tracing)",
+    )
+    export_trace.add_argument("--out", default="-",
+                              help="output file ('-' for stdout)")
+    export_trace.add_argument("--indent", type=int, default=None,
+                              help="pretty-print with this indent "
+                                   "(default: compact golden form)")
+    export_trace.set_defaults(func=cmd_observe_export_trace)
+
+    export_metrics = observe_sub.add_parser(
+        "export-metrics", parents=[observe_common],
+        help="Prometheus text exposition of the run's summary",
+    )
+    export_metrics.add_argument("--out", default="-",
+                                help="output file ('-' for stdout)")
+    export_metrics.set_defaults(func=cmd_observe_export_metrics)
+
+    explain_p = observe_sub.add_parser(
+        "explain", parents=[observe_common],
+        help="reconstruct and print one request's span tree",
+    )
+    explain_p.add_argument("request_id", type=int)
+    explain_p.set_defaults(func=cmd_observe_explain)
 
     samples = sub.add_parser("samples", help="list builtin inputs")
     samples.set_defaults(func=cmd_samples)

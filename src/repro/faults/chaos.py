@@ -74,6 +74,7 @@ class ChaosConfig:
             raise ValueError("horizon_scale must be in (0, 1]")
 
     def fault_counts(self) -> "OrderedDict[str, int]":
+        """The per-kind event counts the plan generator is fed."""
         return OrderedDict(
             crashes=self.crashes,
             preemptions=self.preemptions,
@@ -96,6 +97,7 @@ class ChaosResult:
 
     @property
     def ok(self) -> bool:
+        """Invariants held and the rerun (if run) was byte-identical."""
         return not self.violations and self.deterministic is not False
 
     def summary(self) -> "OrderedDict[str, object]":
@@ -113,9 +115,11 @@ class ChaosResult:
         )
 
     def to_json(self) -> str:
+        """The summary as indented JSON (the golden chaos form)."""
         return json.dumps(self.summary(), indent=2)
 
     def render(self) -> str:
+        """The report's ASCII rendering plus a chaos verdict line."""
         lines = [self.report.render()]
         verdict = "PASS" if self.ok else "FAIL"
         determinism = {
@@ -134,8 +138,13 @@ class ChaosResult:
         return "\n".join(lines)
 
 
-def _build(config: ChaosConfig):
-    """The (gateway, stream, plan) triple a campaign config describes."""
+def _build(config: ChaosConfig, probe=None):
+    """The (gateway, stream, plan) triple a campaign config describes.
+
+    ``probe`` is an optional :class:`~repro.observability.GatewayProbe`
+    forwarded to the gateway, so chaos runs can record span timelines
+    without changing what the campaign simulates.
+    """
     from ..hardware.platform import get_platform
     from ..sequences.builtin import builtin_samples
     from ..serving import (
@@ -175,7 +184,9 @@ def _build(config: ChaosConfig):
         degraded_fallback=config.degraded_fallback,
         degraded_msa_depth=config.degraded_msa_depth,
     )
-    gateway = ServingGateway(platform, gateway_config, fault_plan=plan)
+    gateway = ServingGateway(
+        platform, gateway_config, fault_plan=plan, probe=probe
+    )
     return gateway, stream, plan
 
 

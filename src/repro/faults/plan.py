@@ -92,6 +92,7 @@ class FaultEvent:
             raise ValueError(f"{self.kind.value} targets MSA workers")
 
     def as_dict(self) -> "OrderedDict[str, object]":
+        """Ordered, rounded dict for JSON plan serialisation."""
         return OrderedDict(
             event_id=self.event_id,
             time=round(self.time, 6),
@@ -135,6 +136,7 @@ class FaultPlan:
 
     @property
     def active_kinds(self) -> List[FaultKind]:
+        """Kinds with at least one scheduled event, in enum order."""
         return [k for k in FaultKind if self.kind_counts()[k.value] > 0]
 
     # -- seeded generation ----------------------------------------------

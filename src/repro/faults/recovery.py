@@ -27,6 +27,8 @@ from typing import Dict, Optional
 
 
 class BreakerState(enum.Enum):
+    """The classic three-state circuit-breaker lifecycle."""
+
     CLOSED = "closed"          # normal dispatch
     OPEN = "open"              # ejected from the pool, cooling down
     HALF_OPEN = "half_open"    # probing: one batch decides
@@ -59,13 +61,17 @@ class CircuitBreaker:
 
     @property
     def enabled(self) -> bool:
+        """False when the threshold is 0 (breaker disabled)."""
         return self.failure_threshold > 0
 
     @property
     def allows_dispatch(self) -> bool:
+        """Whether the worker may receive work (OPEN blocks it)."""
         return self.state is not BreakerState.OPEN
 
     def record_success(self) -> None:
+        """Reset the failure streak; a half-open probe success closes
+        the breaker."""
         if self.state is BreakerState.HALF_OPEN:
             self.state = BreakerState.CLOSED
             self.closes += 1
@@ -90,6 +96,7 @@ class CircuitBreaker:
         return False
 
     def to_half_open(self) -> None:
+        """Cooldown expired: admit one probe dispatch (OPEN only)."""
         if self.state is BreakerState.OPEN:
             self.state = BreakerState.HALF_OPEN
             self.half_opens += 1
@@ -125,16 +132,22 @@ class WorkerHealth:
     )
 
     def invalidate_job(self) -> None:
+        """Bump the job token so the in-flight job's completion event
+        arrives stale and is ignored."""
         self.job_token += 1
         self.busy = False
 
     def active_pressure(self, now: float) -> float:
+        """Injected memory pressure in bytes, 0 outside the window."""
         return self.pressure_bytes if now < self.pressure_until else 0.0
 
     def active_slowdown(self, now: float) -> float:
+        """Slow-node multiplier, 1.0 outside the window."""
         return self.slow_factor if now < self.slow_until else 1.0
 
     def take_stall(self) -> float:
+        """Consume the stall banked while idle (charged to the next
+        job this worker starts)."""
         stall, self.pending_stall = self.pending_stall, 0.0
         return stall
 
@@ -172,10 +185,12 @@ class MsaCheckpoint:
 
     @property
     def remaining_fraction(self) -> float:
+        """Fraction of the scan a resume still has to run."""
         return 1.0 - self.completed_shards / self.total_shards
 
     @property
     def remaining_seconds(self) -> float:
+        """Cold-scan seconds scaled to the unfinished fraction."""
         return self.full_seconds * self.remaining_fraction
 
 
@@ -190,6 +205,7 @@ class CheckpointStore:
         self.shards_saved = 0     # DB shards resume runs did NOT rescan
 
     def save(self, key: str, checkpoint: MsaCheckpoint) -> None:
+        """Record (or overwrite) the resume point for a chain content."""
         self._store[key] = checkpoint
         self.saved += 1
 
@@ -244,6 +260,8 @@ class FaultStats:
     fault_retries: int = 0         # re-admissions caused by faults
 
     def as_dict(self) -> "OrderedDict[str, object]":
+        """Ordered dict in declaration order (the ``faults`` section
+        of the report summary; floats rounded for golden stability)."""
         return OrderedDict(
             events_injected=self.events_injected,
             events_applied=self.events_applied,

@@ -1,0 +1,321 @@
+"""Span-tree analysis: critical paths, attribution, and `explain`.
+
+Exported timelines answer "what did the fleet do"; this module
+answers "why was *this* request slow".  It reconstructs each
+request's span tree from a recorded run and derives:
+
+* :func:`critical_path` — the ordered stage spans that add up to the
+  request's end-to-end latency (waits, scans, inference, backoff),
+  with any un-spanned residue reported as an explicit gap rather than
+  silently absorbed;
+* :func:`phase_attribution` — per-stage seconds for one request or a
+  whole run, the span-level analogue of
+  :meth:`repro.trace.WorkloadTrace.by_phase`;
+* :func:`reconcile_with_trace` — the cross-check that the span layer
+  and the ledger-based :func:`~repro.serving.gateway.serving_trace`
+  attribute the same seconds to the same phases.  Observability that
+  disagrees with the metrics it sits on is worse than none; the test
+  suite pins the deltas at zero for fault-free runs and pins the wait
+  phases exactly even under chaos;
+* :func:`explain` — the operator-facing rendering of one request's
+  tree (``repro observe explain <request_id>``).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional, Sequence
+
+from .spans import KIND_INSTANT, Span, SpanRecorder
+
+#: Span names that represent request *stages* — intervals that chain
+#: together into the request's critical path.  Instants and worker
+#: windows are context, not stages.
+STAGE_NAMES = (
+    "queue.msa",
+    "msa.wait_shared",
+    "msa.scan",
+    "queue.batch",
+    "gpu.infer",
+    "backoff",
+)
+
+
+class SpanTree:
+    """One request's spans, rooted at its ``request`` span."""
+
+    def __init__(self, root: Span, children: List[Span]) -> None:
+        self.root = root
+        #: Stage + instant spans in chronological (start, creation)
+        #: order.  Stages never overlap — the gateway runs a request
+        #: through one stage at a time — so this order is the story.
+        self.children = children
+
+    @property
+    def request_id(self) -> int:
+        return self.root.request_id  # type: ignore[return-value]
+
+    def stages(self) -> List[Span]:
+        return [c for c in self.children if c.name in STAGE_NAMES]
+
+    def instants(self) -> List[Span]:
+        return [c for c in self.children if c.kind == KIND_INSTANT]
+
+
+def build_tree(
+    spans_or_recorder, request_id: int
+) -> SpanTree:
+    """The span tree of one request.
+
+    Accepts a :class:`SpanRecorder` or a plain span sequence.  Raises
+    ``KeyError`` when the request recorded no root span (an id the run
+    never saw).
+    """
+    spans = _spans_of(spans_or_recorder, request_id)
+    root = next(
+        (s for s in spans if s.name == "request" and s.parent_id is None),
+        None,
+    )
+    if root is None:
+        raise KeyError(f"no spans recorded for request {request_id}")
+    children = [s for s in spans if s.parent_id == root.span_id]
+    order = {id(span): i for i, span in enumerate(spans)}
+    children.sort(key=lambda s: (s.start, order[id(s)]))
+    return SpanTree(root, children)
+
+
+def build_trees(spans_or_recorder) -> "OrderedDict[int, SpanTree]":
+    """Span trees for every request a run recorded, in id order."""
+    if isinstance(spans_or_recorder, SpanRecorder):
+        ids = spans_or_recorder.request_ids()
+    else:
+        seen: "OrderedDict[int, None]" = OrderedDict()
+        for span in spans_or_recorder:
+            if span.request_id is not None:
+                seen.setdefault(span.request_id)
+        ids = list(seen)
+    return OrderedDict(
+        (rid, build_tree(spans_or_recorder, rid)) for rid in sorted(ids)
+    )
+
+
+def _spans_of(spans_or_recorder, request_id: int) -> List[Span]:
+    if isinstance(spans_or_recorder, SpanRecorder):
+        return spans_or_recorder.for_request(request_id)
+    return [s for s in spans_or_recorder if s.request_id == request_id]
+
+
+def critical_path(tree: SpanTree) -> List[Span]:
+    """The stage spans whose durations compose the request's latency.
+
+    Stages are sequential, so the path is simply the chronological
+    stage chain; callers wanting the unattributed residue use
+    :func:`path_gap_seconds`.
+    """
+    return tree.stages()
+
+
+def path_gap_seconds(tree: SpanTree) -> float:
+    """Root duration not covered by any stage span.
+
+    Zero for completed requests — the stage spans tile the request
+    exactly — and positive only when a request ended mid-stage (a
+    terminal timeout closes its last wait at the timeout instant).
+    """
+    covered = sum(s.duration for s in tree.stages())
+    return max(0.0, tree.root.duration - covered)
+
+
+def phase_attribution(
+    trees, statuses: Optional[Sequence[str]] = None
+) -> "OrderedDict[str, float]":
+    """Seconds per stage name, summed over one tree or many.
+
+    ``statuses`` restricts the sum (e.g. ``("ok",)`` to count only
+    stages that completed into the next one); default counts every
+    stage, which is what tiles end-to-end latency.
+    """
+    if isinstance(trees, SpanTree):
+        trees = [trees]
+    elif isinstance(trees, dict):
+        trees = list(trees.values())
+    out: "OrderedDict[str, float]" = OrderedDict(
+        (name, 0.0) for name in STAGE_NAMES
+    )
+    for tree in trees:
+        for span in tree.stages():
+            if statuses is not None and span.status not in statuses:
+                continue
+            out[span.name] += span.duration
+    return out
+
+
+def reconcile_with_trace(
+    requests, spans_or_recorder
+) -> "OrderedDict[str, Dict[str, float]]":
+    """Cross-check span attribution against the ledger-based trace.
+
+    For each serving phase that :func:`~repro.serving.gateway.
+    serving_trace` emits, compute the same quantity from spans and
+    report ``{"trace_seconds", "span_seconds", "delta"}``.  The
+    mapping mirrors how the gateway's request ledger is incremented:
+
+    * ``serving.queue.msa``  <- ``queue.msa`` + ``msa.wait_shared``
+      spans that ended ``ok`` (the ledger adds the wait when the stage
+      completes, never when a timeout preempts it).  A shared wait
+      that ended ``promoted`` — its leader left and the waiter took
+      over the scan — counts only if the follow-on ``queue.msa`` stage
+      itself completed, because that is when the gateway charges the
+      whole combined wait;
+    * ``serving.queue.batch`` <- ``queue.batch`` spans ending ``ok``
+      *or* ``oom`` (the ledger charges the wait before the dispatch
+      attempt, successful or not);
+    * ``serving.backoff`` <- ``backoff`` spans;
+    * ``serving.msa`` <- the last ``ok`` ``msa.scan`` per request that
+      ran its own search (cache hits and coalesced requests carry no
+      ledger entry);
+    * ``serving.gpu`` <- ``ok`` ``gpu.infer`` spans;
+    * ``serving.rewarm`` / ``serving.stall`` <- the corresponding span
+      attributes.
+
+    Deltas are exactly zero for fault-free runs.  Under faults, the
+    wait phases still reconcile exactly; the service phases can differ
+    when an aborted attempt's planned time remains in the ledger of a
+    request that never completed its rerun — the delta then *is* the
+    finding, not an error.
+    """
+    from ..serving.gateway import serving_trace   # local: avoid cycle
+
+    phases = serving_trace(requests).by_phase()
+    trace_seconds = OrderedDict(
+        (name, rec.seconds) for name, rec in phases.items()
+    )
+    spans: List[Span] = (
+        list(spans_or_recorder.spans)
+        if isinstance(spans_or_recorder, SpanRecorder)
+        else list(spans_or_recorder)
+    )
+    span_seconds: Dict[str, float] = {
+        "serving.queue.msa": 0.0,
+        "serving.queue.batch": 0.0,
+        "serving.backoff": 0.0,
+        "serving.rewarm": 0.0,
+        "serving.stall": 0.0,
+        "serving.msa": 0.0,
+        "serving.gpu": 0.0,
+    }
+    last_ok_scan: Dict[int, float] = {}
+    # Shared waits that ended in a leader promotion: their seconds are
+    # charged (or dropped) with the follow-on queue.msa stage.
+    pending_promoted: Dict[int, float] = {}
+    for span in spans:
+        if span.name == "msa.wait_shared" and span.status == "promoted":
+            rid = span.request_id
+            pending_promoted[rid] = (
+                pending_promoted.get(rid, 0.0) + span.duration
+            )
+        elif span.name in ("queue.msa", "msa.wait_shared"):
+            if span.status == "ok":
+                span_seconds["serving.queue.msa"] += span.duration
+                if span.name == "queue.msa":
+                    span_seconds["serving.queue.msa"] += (
+                        pending_promoted.pop(span.request_id, 0.0)
+                    )
+            elif span.name == "queue.msa":
+                # The promoted attempt died waiting; the ledger never
+                # charges its shared-wait seconds either.
+                pending_promoted.pop(span.request_id, None)
+        elif span.name == "queue.batch":
+            if span.status in ("ok", "oom"):
+                span_seconds["serving.queue.batch"] += span.duration
+        elif span.name == "backoff":
+            if span.status == "ok":
+                span_seconds["serving.backoff"] += span.duration
+        elif span.name == "gpu.infer":
+            span_seconds["serving.rewarm"] += float(
+                span.attrs.get("rewarm_seconds", 0.0)
+            )
+            if span.status == "ok":
+                span_seconds["serving.gpu"] += span.duration
+        elif span.name == "msa.scan":
+            span_seconds["serving.stall"] += float(
+                span.attrs.get("stall_seconds", 0.0)
+            )
+            if span.status == "ok" and span.request_id is not None:
+                last_ok_scan[span.request_id] = span.duration
+        elif span.name == "fault.db_stall":
+            if span.request_id is not None:
+                span_seconds["serving.stall"] += float(
+                    span.attrs.get("seconds", 0.0)
+                )
+    for request in requests:
+        if not request.msa_cache_hit and not request.msa_coalesced:
+            span_seconds["serving.msa"] += last_ok_scan.get(
+                request.request_id, 0.0
+            )
+    out: "OrderedDict[str, Dict[str, float]]" = OrderedDict()
+    for name, trace_value in trace_seconds.items():
+        span_value = span_seconds.get(name, 0.0)
+        out[name] = OrderedDict(
+            trace_seconds=trace_value,
+            span_seconds=span_value,
+            delta=span_value - trace_value,
+        )
+    return out
+
+
+def explain(spans_or_recorder, request_id: int) -> str:
+    """Render one request's span tree for an operator.
+
+    Works for any terminal outcome — completed, degraded, retried,
+    shed, timed out, OOM-failed — because the tree is built from
+    whatever spans the run actually recorded for the request.
+    """
+    tree = build_tree(spans_or_recorder, request_id)
+    root = tree.root
+    head = (
+        f"request {request_id}: {root.attrs.get('sample', '?')} "
+        f"({root.attrs.get('tokens', '?')} tokens) -> {root.status}"
+    )
+    head += f", {root.duration:.3f} s end-to-end"
+    attempts = root.attrs.get("attempts")
+    if attempts is not None:
+        head += f", {attempts} attempt(s)"
+    reason = root.attrs.get("reason")
+    lines = [head]
+    if reason:
+        lines.append(f"  reason: {reason}")
+    for span in tree.children:
+        offset = span.start - root.start
+        if span.kind == KIND_INSTANT:
+            detail = _attr_text(span, skip=("worker",))
+            lines.append(
+                f"  t+{offset:12.3f}  {'* ' + span.name:<18s} "
+                f"{'':>12s}  [{span.status}]{detail}"
+            )
+        else:
+            detail = _attr_text(span)
+            lines.append(
+                f"  t+{offset:12.3f}  {span.name:<18s} "
+                f"{span.duration:10.3f} s  [{span.status}]"
+                f" on {span.track}{detail}"
+            )
+    gap = path_gap_seconds(tree)
+    stages = tree.stages()
+    total = sum(s.duration for s in stages)
+    lines.append(
+        f"  stages cover {total:.3f} s of {root.duration:.3f} s "
+        f"end-to-end (gap {gap:.3f} s)"
+    )
+    return "\n".join(lines)
+
+
+def _attr_text(span: Span, skip: Sequence[str] = ()) -> str:
+    shown = {
+        k: v for k, v in sorted(span.attrs.items())
+        if k not in skip and k not in ("batch_id",)
+    }
+    if not shown:
+        return ""
+    parts = ", ".join(f"{k}={v}" for k, v in shown.items())
+    return f"  ({parts})"

@@ -1,0 +1,294 @@
+"""Exporters: Chrome/Perfetto trace events and Prometheus text.
+
+Two render targets for the same observability data, chosen for what
+operators already have open:
+
+* :func:`to_chrome_trace` / :func:`chrome_trace_json` — the Trace
+  Event JSON format that ``chrome://tracing`` and https://ui.perfetto.dev
+  load directly.  Worker service windows render as complete (``X``)
+  events on one named track per worker — so an idle gap on ``gpu-2``
+  or a ``worker.down`` window on ``msa-1`` is visible at a glance —
+  and each request's span tree renders as an async (``b``/``e``) track
+  keyed by its request id, so a p99 request can be followed end to
+  end.  Simulated seconds map to trace microseconds.
+* :func:`prometheus_metrics` — a Prometheus text exposition of a
+  :class:`~repro.serving.metrics.ServingReport` summary, for piping
+  the existing golden counters into any metrics stack without a new
+  schema.
+
+Both are pure functions of their inputs with fully ordered output:
+exporting the same seeded run twice yields byte-identical text (the
+golden trace test pins this).
+
+This module imports nothing from ``repro.serving`` — reports are read
+duck-typed via ``report.summary()`` — so ``repro.observability`` can
+be imported from inside the serving package without a cycle.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from collections import OrderedDict
+from typing import Dict, List, Optional
+
+from .spans import KIND_INSTANT, REQUEST_TRACK, Span, SpanRecorder
+
+#: Trace-event pid for the simulated gateway "process".
+_PID = 1
+#: tid of the lane request-scoped async events attach to.
+_REQUEST_TID = 0
+
+_WORKER_TRACK = re.compile(r"^(gpu|msa)-(\d+)$")
+
+
+def _track_tids(recorder: SpanRecorder) -> "OrderedDict[str, int]":
+    """Deterministic track -> tid map: declared worker lanes first
+    (GPU pool, then MSA pool, in worker order), then any extra tracks
+    spans actually used, in natural sort order."""
+    tracks: "OrderedDict[str, None]" = OrderedDict()
+    for track in recorder.declared_tracks:
+        tracks.setdefault(track)
+    extras = sorted(
+        {
+            s.track for s in recorder.spans
+            if s.track != REQUEST_TRACK and s.track not in tracks
+        },
+        key=lambda t: (
+            (0, m.group(1), int(m.group(2))) if (m := _WORKER_TRACK.match(t))
+            else (1, t, 0)
+        ),
+    )
+    for track in extras:
+        tracks.setdefault(track)
+    return OrderedDict(
+        (track, tid) for tid, track in enumerate(tracks, start=1)
+    )
+
+
+def _us(seconds: float) -> float:
+    """Simulated seconds -> trace microseconds, rounded for stability."""
+    return round(seconds * 1e6, 3)
+
+
+def _args(span: Span) -> "OrderedDict[str, object]":
+    args: "OrderedDict[str, object]" = OrderedDict(span_id=span.span_id)
+    if span.parent_id is not None:
+        args["parent"] = span.parent_id
+    if span.request_id is not None:
+        args["request"] = span.request_id
+    args["status"] = span.status
+    for key in sorted(span.attrs):
+        args[key] = span.attrs[key]
+    return args
+
+
+def to_chrome_trace(
+    recorder: SpanRecorder,
+    metadata: Optional[Dict[str, object]] = None,
+) -> "OrderedDict[str, object]":
+    """Render a recorded run as a Trace Event JSON object.
+
+    Layout contract:
+
+    * pid 1 is the gateway; tid 1..N are one thread ("track") per
+      worker, named ``gpu-0`` ... ``msa-K`` via metadata events, so
+      Perfetto shows one swim-lane per worker in pool order.
+    * spans on a worker track (``msa.scan``, ``gpu.batch``,
+      ``worker.down``, ``fault.*`` windows) become ``X`` complete
+      events there; zero-width markers become ``i`` instants.
+    * every request-scoped span additionally becomes an async
+      ``b``/``e`` pair (``n`` for instants) under id ``r<request_id>``,
+      grouping each request's full tree onto its own async track.
+
+    ``metadata`` lands under ``otherData`` (seed, config, ...).
+    """
+    tids = _track_tids(recorder)
+    events: List["OrderedDict[str, object]"] = []
+    events.append(OrderedDict(
+        name="process_name", ph="M", pid=_PID, tid=_REQUEST_TID,
+        args={"name": "af3-serving-gateway"},
+    ))
+    events.append(OrderedDict(
+        name="thread_name", ph="M", pid=_PID, tid=_REQUEST_TID,
+        args={"name": REQUEST_TRACK},
+    ))
+    for track, tid in tids.items():
+        events.append(OrderedDict(
+            name="thread_name", ph="M", pid=_PID, tid=tid,
+            args={"name": track},
+        ))
+    for span in recorder.spans:
+        end = span.start if span.end is None else span.end
+        args = _args(span)
+        if span.track in tids:
+            tid = tids[span.track]
+            if span.kind == KIND_INSTANT:
+                events.append(OrderedDict(
+                    name=span.name, ph="i", pid=_PID, tid=tid,
+                    ts=_us(span.start), s="t", args=args,
+                ))
+            else:
+                events.append(OrderedDict(
+                    name=span.name, ph="X", pid=_PID, tid=tid,
+                    ts=_us(span.start),
+                    dur=_us(max(0.0, end - span.start)),
+                    args=args,
+                ))
+        if span.request_id is not None:
+            common = dict(
+                cat="request", id=f"r{span.request_id}",
+                pid=_PID, tid=_REQUEST_TID,
+            )
+            if span.kind == KIND_INSTANT:
+                events.append(OrderedDict(
+                    name=span.name, ph="n", ts=_us(span.start),
+                    args=args, **common,
+                ))
+            else:
+                events.append(OrderedDict(
+                    name=span.name, ph="b", ts=_us(span.start),
+                    args=args, **common,
+                ))
+                events.append(OrderedDict(
+                    name=span.name, ph="e", ts=_us(end),
+                    args={"status": span.status}, **common,
+                ))
+    payload: "OrderedDict[str, object]" = OrderedDict(
+        traceEvents=events,
+        displayTimeUnit="ms",
+    )
+    if metadata:
+        payload["otherData"] = OrderedDict(sorted(metadata.items()))
+    return payload
+
+
+def chrome_trace_json(
+    recorder: SpanRecorder,
+    metadata: Optional[Dict[str, object]] = None,
+    indent: Optional[int] = None,
+) -> str:
+    """Serialize :func:`to_chrome_trace` deterministically.
+
+    Compact by default (one stable byte stream per seeded run — the
+    golden form); pass ``indent`` for a human-diffable file.
+    """
+    payload = to_chrome_trace(recorder, metadata)
+    if indent is None:
+        return json.dumps(payload, separators=(",", ":"))
+    return json.dumps(payload, indent=indent)
+
+
+# -- Prometheus text exposition -----------------------------------------
+
+#: summary field -> (metric suffix, prometheus type, help text).
+_COUNTERS = [
+    ("submitted", "submitted_total", "Requests submitted to the gateway."),
+    ("completed", "completed_total", "Full-quality completions."),
+    ("degraded", "degraded_total",
+     "Completions served via the reduced-depth degraded fallback."),
+    ("shed", "shed_total", "Requests rejected by admission control."),
+    ("timed_out", "timed_out_total",
+     "Requests that exhausted their retries."),
+    ("failed_oom", "failed_oom_total",
+     "Requests that exceed device memory even alone."),
+    ("retries", "retries_total", "Timeout-triggered retry admissions."),
+    ("oom_events", "oom_events_total",
+     "Batch dispatches that hit device OOM."),
+    ("batches_dispatched", "batches_total", "GPU batches dispatched."),
+    ("cache_hits", "msa_cache_hits_total", "MSA result cache hits."),
+    ("cache_misses", "msa_cache_misses_total", "MSA result cache misses."),
+    ("coalesced_msa", "msa_coalesced_total",
+     "Requests coalesced onto an in-flight MSA computation."),
+]
+
+_GAUGES = [
+    ("duration_seconds", "duration_seconds",
+     "Simulated makespan, first arrival to last event."),
+    ("throughput_rps", "throughput_rps",
+     "Full-quality completions per simulated second."),
+    ("gpu_utilization", "gpu_utilization_ratio",
+     "GPU-pool busy fraction of capacity."),
+    ("msa_utilization", "msa_utilization_ratio",
+     "MSA-pool busy fraction of capacity."),
+    ("mean_batch_size", "batch_size_mean", "Mean dispatched batch size."),
+    ("batch_fill", "batch_fill_ratio",
+     "Mean batch size over the max batch size."),
+    ("cache_hit_rate", "msa_cache_hit_ratio", "MSA cache hit fraction."),
+]
+
+_LATENCY_SECTIONS = [
+    ("latency", "latency_seconds", "End-to-end latency, completed requests."),
+    ("msa_queue_wait", "msa_queue_wait_seconds",
+     "Wait for an MSA worker, completed requests."),
+    ("batch_queue_wait", "batch_queue_wait_seconds",
+     "Wait in the dynamic batcher, completed requests."),
+]
+
+_QUANTILES = [("p50", "0.5"), ("p95", "0.95"), ("p99", "0.99")]
+
+
+def prometheus_metrics(report, prefix: str = "afsys_serving") -> str:
+    """Prometheus text exposition of a serving report's summary.
+
+    Metric names, ordering, and label sets are fixed, so scraping the
+    same seeded run twice produces identical text.  The source fields
+    are exactly the golden-summary fields documented in
+    ``docs/metrics_reference.md`` — this is a re-rendering, not a new
+    metrics surface.
+    """
+    summary = report.summary()
+    labels = f'{{platform="{summary["platform"]}"}}'
+    lines: List[str] = []
+
+    def emit(suffix, mtype, help_text, value, extra_labels=""):
+        name = f"{prefix}_{suffix}"
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {mtype}")
+        lines.append(f"{name}{extra_labels or labels} {value}")
+
+    emit("gpu_workers", "gauge", "GPU workers in the pool.",
+         summary["gpu_workers"])
+    emit("msa_workers", "gauge", "MSA workers in the pool.",
+         summary["msa_workers"])
+    for field, suffix, help_text in _COUNTERS:
+        emit(suffix, "counter", help_text, summary[field])
+    for field, suffix, help_text in _GAUGES:
+        emit(suffix, "gauge", help_text, summary[field])
+    for field, suffix, help_text in _LATENCY_SECTIONS:
+        stats = summary[field]
+        name = f"{prefix}_{suffix}"
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} summary")
+        base = labels[:-1]  # reuse the platform label, add quantile
+        for key, quantile in _QUANTILES:
+            lines.append(
+                f'{name}{base},quantile="{quantile}"}} {stats[key]}'
+            )
+        lines.append(f"{name}_count{labels} {stats['count']}")
+        lines.append(f"{name}_mean{labels} {stats['mean']}")
+        lines.append(f"{name}_max{labels} {stats['max']}")
+    faults = summary.get("faults")
+    if faults:
+        plan = faults.get("plan", {})
+        name = f"{prefix}_fault_planned_total"
+        lines.append(
+            f"# HELP {name} Fault events scheduled by the plan, by kind."
+        )
+        lines.append(f"# TYPE {name} counter")
+        for kind, count in plan.items():
+            lines.append(
+                f'{name}{labels[:-1]},kind="{kind}"}} {count}'
+            )
+        for key, value in faults.items():
+            if key == "plan":
+                continue
+            name = f"{prefix}_fault_{key}"
+            lines.append(
+                f"# HELP {name} Fault/recovery counter "
+                f"(see docs/metrics_reference.md)."
+            )
+            kind = "gauge" if key == "rewarm_seconds" or key == "stall_seconds" else "counter"
+            lines.append(f"# TYPE {name} {kind}")
+            lines.append(f"{name}{labels} {value}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,213 @@
+"""The span model: deterministic, hierarchical request timelines.
+
+A *span* is one named interval of simulated time — a queue wait, an
+MSA database scan, a GPU batch execution, a worker's crash window —
+with a parent link that arranges the spans of one request into a tree
+rooted at its end-to-end ``request`` span.  Spans are the raw material
+every exporter and analyzer in :mod:`repro.observability` consumes:
+the Chrome-trace exporter renders them on per-worker tracks, the
+analyzer reconstructs per-request trees and critical paths, and
+``repro observe explain`` prints them for operators.
+
+The contract that makes spans trustworthy:
+
+* **Deterministic identity.**  Span ids derive from the request id and
+  a per-request creation counter (``r17``, ``r17.1``, ``r17.2`` ...);
+  system-scoped spans derive from their track (``gpu-0.1``).  No wall
+  clock, no global counter shared across unrelated requests — a seeded
+  simulation therefore produces byte-identical span streams, and the
+  golden trace tests pin that.
+* **Simulated time only.**  ``start``/``end`` are the gateway's event
+  heap timestamps (seconds).  Recording spans never advances or reads
+  real time, so enabling observability cannot perturb a simulation.
+* **Closed by the recorder, not the clock.**  A span ends when the
+  lifecycle event that ends it fires (completion, abort, timeout,
+  shed), and carries that outcome in ``status`` — an aborted MSA scan
+  is a first-class span, not a missing one.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import OrderedDict
+from typing import Dict, List, Optional
+
+#: Span kinds: an interval with duration, or a zero-width marker.
+KIND_SPAN = "span"
+KIND_INSTANT = "instant"
+
+#: The track request-scoped (non-worker) spans live on.
+REQUEST_TRACK = "requests"
+
+
+@dataclasses.dataclass
+class Span:
+    """One named interval (or instant) of simulated time.
+
+    ``track`` names the timeline lane the span renders on — a worker
+    (``gpu-0``, ``msa-2``) for service and fault windows, or
+    ``requests`` for request-scoped waits.  ``request_id`` links the
+    span into a request's tree regardless of track: an MSA scan lives
+    on its worker's track *and* belongs to the request that paid for
+    it.  ``end is None`` means still open; terminal statuses other
+    than ``"ok"`` record why the interval ended the way it did
+    (``"aborted"``, ``"timed_out"``, ``"shed"``, ``"corrupt"``,
+    ``"oom"``, ...).
+    """
+
+    span_id: str
+    name: str
+    track: str
+    start: float
+    end: Optional[float] = None
+    parent_id: Optional[str] = None
+    request_id: Optional[int] = None
+    status: str = "ok"
+    kind: str = KIND_SPAN
+    attrs: Dict[str, object] = dataclasses.field(default_factory=dict)
+
+    @property
+    def open(self) -> bool:
+        return self.end is None
+
+    @property
+    def duration(self) -> float:
+        """Seconds covered; 0.0 while the span is still open."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def as_dict(self) -> "OrderedDict[str, object]":
+        """Rounded, ordered form (JSON-stable, golden-test surface)."""
+        return OrderedDict(
+            span_id=self.span_id,
+            name=self.name,
+            track=self.track,
+            start=round(self.start, 6),
+            end=None if self.end is None else round(self.end, 6),
+            parent_id=self.parent_id,
+            request_id=self.request_id,
+            status=self.status,
+            kind=self.kind,
+            attrs=OrderedDict(sorted(self.attrs.items())),
+        )
+
+
+class SpanRecorder:
+    """Collects spans in event order with deterministic ids.
+
+    The recorder is deliberately dumb: it assigns ids, appends spans,
+    and closes them.  *What* spans exist and *when* they open/close is
+    the :class:`~repro.observability.instrument.SpanProbe`'s job — the
+    recorder only guarantees that the same sequence of calls yields
+    the same spans with the same ids, which is what the byte-identical
+    export guarantee rests on.
+    """
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.spans: List[Span] = []
+        #: Tracks the probe declared up front (worker lanes, in lane
+        #: order) — exporters use this so empty lanes still render.
+        self.declared_tracks: List[str] = []
+        self._request_seq: Dict[int, int] = {}
+        self._track_seq: Dict[str, int] = {}
+
+    def declare_tracks(self, tracks: List[str]) -> None:
+        self.declared_tracks = list(tracks)
+
+    def _next_id(self, request_id: Optional[int], track: str) -> str:
+        if request_id is not None:
+            seq = self._request_seq.get(request_id, 0)
+            self._request_seq[request_id] = seq + 1
+            return f"r{request_id}" if seq == 0 else f"r{request_id}.{seq}"
+        seq = self._track_seq.get(track, 0) + 1
+        self._track_seq[track] = seq
+        return f"{track}.{seq}"
+
+    def begin(
+        self,
+        name: str,
+        start: float,
+        *,
+        track: str,
+        request_id: Optional[int] = None,
+        parent_id: Optional[str] = None,
+        **attrs: object,
+    ) -> Span:
+        """Open a span; the returned handle is later passed to finish."""
+        span = Span(
+            span_id=self._next_id(request_id, track),
+            name=name,
+            track=track,
+            start=start,
+            parent_id=parent_id,
+            request_id=request_id,
+            attrs=dict(attrs),
+        )
+        self.spans.append(span)
+        return span
+
+    def finish(
+        self, span: Span, end: float, status: str = "ok", **attrs: object
+    ) -> Span:
+        if end < span.start:
+            raise ValueError(
+                f"span {span.span_id} cannot end at {end} before its "
+                f"start {span.start}"
+            )
+        span.end = end
+        span.status = status
+        span.attrs.update(attrs)
+        return span
+
+    def instant(
+        self,
+        name: str,
+        when: float,
+        *,
+        track: str,
+        request_id: Optional[int] = None,
+        parent_id: Optional[str] = None,
+        status: str = "ok",
+        **attrs: object,
+    ) -> Span:
+        """A zero-width marker (cache hit, fault strike, shed, ...)."""
+        span = Span(
+            span_id=self._next_id(request_id, track),
+            name=name,
+            track=track,
+            start=when,
+            end=when,
+            parent_id=parent_id,
+            request_id=request_id,
+            status=status,
+            kind=KIND_INSTANT,
+            attrs=dict(attrs),
+        )
+        self.spans.append(span)
+        return span
+
+    # -- queries ---------------------------------------------------------
+
+    def for_request(self, request_id: int) -> List[Span]:
+        """All spans of one request, in creation (event) order."""
+        return [s for s in self.spans if s.request_id == request_id]
+
+    def request_ids(self) -> List[int]:
+        seen: "OrderedDict[int, None]" = OrderedDict()
+        for span in self.spans:
+            if span.request_id is not None:
+                seen.setdefault(span.request_id)
+        return list(seen)
+
+    def open_spans(self) -> List[Span]:
+        return [s for s in self.spans if s.open]
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def __iter__(self):
+        return iter(self.spans)

@@ -38,6 +38,8 @@ class DynamicBatcher:
         request: ServingRequest,
         now: float,
     ) -> None:
+        """Enqueue the request in its bucket's FIFO, stamped ``now``
+        (the stamp drives the max-wait deadline)."""
         self._pending.setdefault(bucket, []).append((now, request))
 
     def add_forced(
@@ -62,18 +64,21 @@ class DynamicBatcher:
         return False
 
     def depth(self) -> int:
+        """Requests waiting across all buckets and forced batches."""
         return (
             sum(len(v) for v in self._pending.values())
             + sum(len(m) for _, m in self._forced)
         )
 
     def head_wait(self, bucket: int, now: float) -> float:
+        """Seconds the bucket's oldest member has waited (0 if empty)."""
         entries = self._pending.get(bucket)
         if not entries:
             return 0.0
         return now - entries[0][0]
 
     def _dispatchable(self, bucket: int, now: float) -> bool:
+        """Full batch, or the head has exhausted its max wait."""
         entries = self._pending[bucket]
         if len(entries) >= self.max_batch:
             return True

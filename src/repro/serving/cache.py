@@ -69,6 +69,7 @@ class MsaResultCache:
         self.degraded_rejected = 0
 
     def lookup(self, key: str) -> Optional[CachedMsa]:
+        """LRU lookup; counts a hit (refreshing recency) or a miss."""
         entry = self._store.get(key)
         if entry is None:
             self.misses += 1
@@ -111,5 +112,6 @@ class MsaResultCache:
 
     @property
     def hit_rate(self) -> float:
+        """hits / (hits + misses); 0.0 before any lookup."""
         total = self.hits + self.misses
         return self.hits / total if total else 0.0

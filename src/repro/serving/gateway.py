@@ -32,6 +32,15 @@ are exhausted.
 Everything runs in simulated time on one deterministic event heap, so
 a seeded request stream — with or without a fault plan — reproduces
 byte-identical reports.
+
+The loop also narrates itself: every lifecycle transition (admission,
+queue entry/exit, scan start/finish/abort, batch dispatch, crash,
+restart ...) is reported to a
+:class:`~repro.observability.instrument.GatewayProbe`.  The default
+probe is a shared no-op, so observability is strictly additive — a
+run with no probe attached produces the exact bytes it always did —
+while a :class:`~repro.observability.instrument.SpanProbe` turns the
+same narration into exportable per-request span timelines.
 """
 
 from __future__ import annotations
@@ -54,6 +63,7 @@ from ..hardware.gpu import GpuOutOfMemoryError
 from ..hardware.platform import Platform
 from ..model.config import ModelConfig
 from ..msa.database import SCAN_SHARDS
+from ..observability.instrument import NULL_PROBE, GatewayProbe
 from ..sequences.sample import InputSample
 from ..trace import OpRecord, Resource, WorkloadTrace
 from .batching import DynamicBatcher
@@ -98,6 +108,8 @@ class AnalyticMsaCostModel:
         self._cache: Dict[str, MsaCost] = {}
 
     def cost(self, sample: InputSample) -> MsaCost:
+        """Scan seconds + MSA depth for ``sample``, cached per chain
+        content (identical assemblies price identically)."""
         key = chain_content_key(sample.assembly)
         hit = self._cache.get(key)
         if hit is not None:
@@ -137,6 +149,8 @@ class FunctionalMsaCostModel:
         self._cache: Dict[str, MsaCost] = {}
 
     def cost(self, sample: InputSample) -> MsaCost:
+        """Scan seconds + MSA depth from one real engine run per
+        distinct chain content, replayed on the CPU simulator."""
         key = chain_content_key(sample.assembly)
         hit = self._cache.get(key)
         if hit is not None:
@@ -223,9 +237,11 @@ class ServingGateway:
         msa_cost_model=None,
         model_config: Optional[ModelConfig] = None,
         fault_plan: Optional[FaultPlan] = None,
+        probe: Optional[GatewayProbe] = None,
     ) -> None:
         self.platform = platform
         self.config = config or GatewayConfig()
+        self.probe = probe or NULL_PROBE
         self.msa_cost_model = msa_cost_model or AnalyticMsaCostModel(
             platform, threads=self.config.msa_threads_per_worker
         )
@@ -239,6 +255,14 @@ class ServingGateway:
     # -- simulation -----------------------------------------------------
 
     def run(self, requests: Sequence[ServingRequest]) -> ServingReport:
+        """Simulate the stream to completion and report.
+
+        Resets all per-run state, seeds the heap with arrivals (and the
+        fault plan's events, if any), then drains it: each pop advances
+        the simulated clock and dispatches to the matching handler.
+        Ties break on the fixed event-kind order, so reruns of the same
+        seeded stream are byte-identical.
+        """
         cfg = self.config
         self._events: List[Tuple[float, int, int, int, object]] = []
         self._seq = 0
@@ -274,6 +298,7 @@ class ServingGateway:
         #: In-flight GPU batch per worker (crash handling requeues it).
         self._gpu_jobs: Dict[int, List[ServingRequest]] = {}
         self.monotonic_violations = 0
+        self.probe.attach(cfg.num_gpu_workers, cfg.num_msa_workers)
 
         for request in requests:
             self._push(_EV_ARRIVAL, request.arrival_seconds, request)
@@ -305,6 +330,7 @@ class ServingGateway:
             elif kind == _EV_FAULT:
                 self._on_fault(payload)
 
+        self.probe.run_finished(last_time)
         return build_report(
             platform_name=self.platform.name,
             requests=requests,
@@ -324,12 +350,16 @@ class ServingGateway:
         )
 
     def _make_breaker(self) -> CircuitBreaker:
+        """One per-worker circuit breaker from the configured knobs."""
         return CircuitBreaker(
             self.config.breaker_failure_threshold,
             self.config.breaker_cooldown_seconds,
         )
 
     def _fault_summary(self) -> Optional[Dict[str, object]]:
+        """The report's ``faults`` section: plan metadata + FaultStats
+        with the checkpoint/cache/breaker counters folded in.  None for
+        fault-free runs, keeping the historical summary schema."""
         if self.fault_plan is None:
             return None
         summary: Dict[str, object] = {"plan": self.fault_plan.kind_counts()}
@@ -351,10 +381,14 @@ class ServingGateway:
         return summary
 
     def _push(self, kind: int, when: float, payload: object) -> None:
+        """Schedule an event; (time, kind, seq) ordering keeps the
+        heap deterministic under simultaneous events."""
         self._seq += 1
         heapq.heappush(self._events, (when, kind, kind, self._seq, payload))
 
     def _queued_depth(self) -> int:
+        """Total backlog admission control sheds against: MSA queue +
+        coalesced waiters + the dynamic batcher."""
         return (
             len(self._msa_queue) + self._waiting_count
             + self._batcher.depth()
@@ -363,10 +397,19 @@ class ServingGateway:
     # -- admission and the MSA stage ------------------------------------
 
     def _admit(self, request: ServingRequest) -> None:
+        """Handle an arrival or retry: shed if over the queue limit,
+        else route by MSA availability — cache hit straight to the
+        batcher, in-flight duplicate coalesces as a waiter, otherwise
+        the request leads a new scan and queues for an MSA worker."""
         cfg, now = self.config, self._now
+        if request.attempts == 0:
+            self.probe.request_arrived(request, now)
+        else:
+            self.probe.retry_started(request, now)
         if self._queued_depth() >= cfg.queue_limit:
             request.state = RequestState.SHED
             request.failure_reason = "admission queue full"
+            self.probe.request_shed(request, now)
             return
         request.attempts += 1
         request.admitted_at = now
@@ -381,6 +424,7 @@ class ServingGateway:
         if cached is not None:
             request.msa_cache_hit = True
             request.msa_depth = cached.msa_depth
+            self.probe.cache_hit(request, now)
             self._to_batcher(request)
             return
         if key in self._inflight:
@@ -389,13 +433,19 @@ class ServingGateway:
             self._waiters.setdefault(key, []).append(request)
             self._waiting_count += 1
             self._coalesced += 1
+            self.probe.msa_wait_shared(request, now)
             return
         request.state = RequestState.QUEUED_MSA
         self._inflight[key] = request
         self._msa_queue.push(request)
+        self.probe.msa_queued(request, now)
         self._assign_msa()
 
     def _assign_msa(self) -> None:
+        """Pair queued scans with free MSA workers.  Each assignment
+        prices the scan (resuming from any checkpoint, applying
+        slow-node factors and pending stalls) and schedules its
+        completion event under the worker's current job token."""
         while self._free_msa:
             request = self._msa_queue.pop_valid(
                 lambda r: r.state is RequestState.QUEUED_MSA
@@ -423,6 +473,9 @@ class ServingGateway:
             )
             request.msa_seconds = planned
             request.msa_depth = cost.depth
+            self.probe.msa_started(
+                request, worker, self._now, base_shards, planned, stall
+            )
             self._msa_busy += planned
             health.dispatches += 1
             health.busy = True
@@ -437,6 +490,10 @@ class ServingGateway:
     def _msa_done(
         self, worker: int, request: ServingRequest, token: int
     ) -> None:
+        """An MSA scan finished: cache the result, release the leader
+        and every coalesced waiter to the batcher, and free the worker.
+        Corrupt streams instead invalidate cache/checkpoints and rerun;
+        stale tokens (worker died mid-scan) are ignored outright."""
         health = self.msa_health[worker]
         if not health.busy or health.job_token != token:
             return   # stale completion: the worker crashed mid-scan
@@ -445,6 +502,7 @@ class ServingGateway:
         health.busy = False
         health.completions += 1
         key = chain_content_key(request.sample.assembly)
+        self.probe.msa_finished(request, worker, self._now, corrupted)
         if corrupted:
             # The scan finished but its stream was corrupt: nothing it
             # produced can be trusted — invalidate cached/checkpointed
@@ -457,6 +515,7 @@ class ServingGateway:
             request.state = RequestState.QUEUED_MSA
             request.stage_entered_at = self._now
             self._msa_queue.push(request)
+            self.probe.msa_queued(request, self._now)
         else:
             health.breaker.record_success()
             cost = self.msa_cost_model.cost(request.sample)
@@ -470,6 +529,7 @@ class ServingGateway:
                 self._waiting_count -= 1
                 waiter.msa_depth = request.msa_depth
                 waiter.msa_wait += self._now - waiter.stage_entered_at
+                self.probe.msa_waiter_released(waiter, self._now)
                 self._to_batcher(waiter)
         if health.up and health.breaker.allows_dispatch:
             self._free_msa.append(worker)
@@ -479,9 +539,12 @@ class ServingGateway:
     # -- the GPU stage --------------------------------------------------
 
     def _to_batcher(self, request: ServingRequest) -> None:
+        """Queue the request in its token bucket and (re)arm the
+        batcher's max-wait deadline for it."""
         request.state = RequestState.QUEUED_BATCH
         request.stage_entered_at = self._now
         bucket = request.bucket(self.config.buckets)
+        self.probe.batch_queued(request, self._now)
         self._batcher.add(bucket, request, self._now)
         if self.config.max_wait_seconds > 0:
             self._push(
@@ -492,6 +555,11 @@ class ServingGateway:
         self._dispatch_gpu()
 
     def _dispatch_gpu(self) -> None:
+        """Pair ready batches with free GPU workers.  A dispatch that
+        OOMs splits the batch (or fails a singleton) and may open the
+        worker's breaker; a successful one charges any post-crash
+        re-warm cost and schedules the batch completion under the
+        worker's job token."""
         while self._free_gpu:
             popped = self._batcher.pop_ready(self._now)
             if popped is None:
@@ -516,6 +584,7 @@ class ServingGateway:
             except GpuOutOfMemoryError:
                 self._oom_events += 1
                 health.aborts += 1
+                self.probe.batch_oom(worker_idx, batch, self._now)
                 if health.active_pressure(self._now) > 0:
                     self.fault_stats.oom_spike_ooms += 1
                 newly_open = health.breaker.record_failure()
@@ -523,6 +592,9 @@ class ServingGateway:
                     self._free_gpu.append(worker_idx)
                     self._free_gpu.sort()
                 elif newly_open:
+                    self.probe.breaker_opened(
+                        GPU_DOMAIN, worker_idx, self._now
+                    )
                     self._push(
                         _EV_WORKER_UP,
                         self._now + health.breaker.cooldown_seconds,
@@ -530,6 +602,7 @@ class ServingGateway:
                     )
                 self._handle_oom(batch)
                 continue
+            rewarm = 0.0
             if health.needs_rewarm:
                 rewarm = result.init_seconds + result.compile_seconds
                 self.fault_stats.rewarm_events += 1
@@ -537,6 +610,10 @@ class ServingGateway:
                 for member in batch:
                     member.rewarm_seconds += rewarm
                 health.needs_rewarm = False
+            self.probe.batch_started(
+                worker_idx, batch, self._now, bucket,
+                result.latency_seconds, rewarm,
+            )
             self._batch_sizes.append(len(batch))
             self._gpu_busy += result.latency_seconds
             health.busy = True
@@ -558,6 +635,9 @@ class ServingGateway:
             batch[0].state = RequestState.FAILED_OOM
             batch[0].completion_seconds = None
             batch[0].failure_reason = "single request exceeds device memory"
+            self.probe.request_failed(
+                batch[0], self._now, batch[0].failure_reason
+            )
             return
         bucket = max(m.bucket(self.config.buckets) for m in batch)
         half = len(batch) // 2
@@ -565,11 +645,15 @@ class ServingGateway:
             for member in part:
                 member.state = RequestState.QUEUED_BATCH
                 member.stage_entered_at = self._now
+                self.probe.batch_queued(member, self._now)
             self._batcher.add_forced(bucket, part)
 
     def _gpu_done(
         self, worker_idx: int, batch: List[ServingRequest], token: int
     ) -> None:
+        """A GPU batch finished: complete every member, free the
+        worker, and pull the next batch.  Stale tokens (worker died
+        mid-batch; members were already requeued) are ignored."""
         health = self.gpu_health[worker_idx]
         if not health.busy or health.job_token != token:
             return   # stale completion: the worker crashed mid-batch
@@ -577,9 +661,11 @@ class ServingGateway:
         health.completions += 1
         health.breaker.record_success()
         self._gpu_jobs.pop(worker_idx, None)
+        self.probe.batch_finished(worker_idx, batch, self._now)
         for member in batch:
             member.state = RequestState.DONE
             member.completion_seconds = self._now
+            self.probe.request_done(member, self._now)
         if health.up and health.breaker.allows_dispatch:
             self._free_gpu.append(worker_idx)
             self._free_gpu.sort()
@@ -601,17 +687,20 @@ class ServingGateway:
             self._waiting_count -= 1
         elif request.state is RequestState.QUEUED_BATCH:
             self._batcher.remove(request)
+        self.probe.attempt_timed_out(request, now)
         if request.attempts >= 1 + cfg.max_retries:
             if cfg.degraded_fallback:
                 self._degrade(request, "retries exhausted")
                 return
             request.state = RequestState.TIMED_OUT
             request.failure_reason = "retries exhausted"
+            self.probe.request_timed_out(request, now)
             return
         request.state = RequestState.CREATED
         backoff = cfg.retry_backoff_seconds * 2 ** (request.attempts - 1)
         request.backoff_wait += backoff
         self._retries += 1
+        self.probe.backoff_started(request, now, backoff)
         self._push(_EV_RETRY, now + backoff, request)
 
     def _degrade(self, request: ServingRequest, why: str) -> None:
@@ -627,6 +716,7 @@ class ServingGateway:
         request.failure_reason = f"degraded fallback: {why}"
         request.msa_depth = self.config.degraded_msa_depth
         self.fault_stats.degraded_served += 1
+        self.probe.degraded_fallback(request, self._now, why)
         self._to_batcher(request)
 
     def _relinquish_leadership(self, request: ServingRequest, key: str) -> None:
@@ -640,6 +730,7 @@ class ServingGateway:
             successor.state = RequestState.QUEUED_MSA
             self._inflight[key] = successor
             self._msa_queue.push(successor)
+            self.probe.msa_leader_promoted(successor, self._now)
             self._assign_msa()
         else:
             del self._inflight[key]
@@ -647,6 +738,8 @@ class ServingGateway:
     # -- fault injection and recovery -----------------------------------
 
     def _on_fault(self, event: FaultEvent) -> None:
+        """Dispatch one planned fault to its handler and count whether
+        it changed state (applied) or hit a dead/idle target (noop)."""
         kind = event.kind
         if kind is FaultKind.WORKER_CRASH:
             applied = self._take_down(event, restart_after=None)
@@ -668,6 +761,8 @@ class ServingGateway:
             self.fault_stats.events_noop += 1
 
     def _health_for(self, event: FaultEvent) -> Optional[WorkerHealth]:
+        """The targeted worker's health record, or None when the plan
+        was generated for a larger deployment than this run's."""
         pool = (
             self.gpu_health if event.domain == GPU_DOMAIN
             else self.msa_health
@@ -686,6 +781,10 @@ class ServingGateway:
             return False
         crash = restart_after is None
         health.up = False
+        self.probe.worker_down(
+            event.domain, event.worker, self._now,
+            "crash" if crash else "preemption",
+        )
         if crash:
             health.crashes += 1
             if event.domain == GPU_DOMAIN:
@@ -709,6 +808,9 @@ class ServingGateway:
                 self._free_msa.remove(event.worker)
         if crash:
             if health.breaker.record_failure():
+                self.probe.breaker_opened(
+                    event.domain, event.worker, self._now
+                )
                 self._push(
                     _EV_WORKER_UP,
                     self._now + health.breaker.cooldown_seconds,
@@ -731,6 +833,9 @@ class ServingGateway:
         return True
 
     def _abort_gpu_job(self, worker: int, health: WorkerHealth) -> None:
+        """The worker died mid-batch: invalidate its completion event
+        via the job token and force the batch back into the batcher
+        intact for a full rerun."""
         if not health.busy:
             return
         # Un-run GPU time is handed back; the elapsed part stays burnt.
@@ -739,12 +844,14 @@ class ServingGateway:
         health.invalidate_job()
         health.aborts += 1
         if batch:
+            self.probe.batch_aborted(worker, batch, self._now)
             bucket = max(m.bucket(self.config.buckets) for m in batch)
             for member in batch:
                 member.gpu_seconds = 0.0
                 member.state = RequestState.QUEUED_BATCH
                 member.stage_entered_at = self._now
                 self.fault_stats.fault_retries += 1
+                self.probe.batch_queued(member, self._now)
             self._batcher.add_forced(bucket, batch)
 
     def _gpu_batch_of(self, worker: int) -> List[ServingRequest]:
@@ -752,6 +859,9 @@ class ServingGateway:
         return self._gpu_jobs.pop(worker, [])
 
     def _abort_msa_job(self, worker: int, health: WorkerHealth) -> None:
+        """The worker died mid-scan: checkpoint the shards completed
+        so far (a clean stream permitting), so the requeued request
+        resumes instead of restarting from shard zero."""
         if not health.busy:
             return
         self._msa_busy -= health.job_expected_end - self._now
@@ -770,6 +880,7 @@ class ServingGateway:
             completed = min(shards - 1, base_shards + progressed)
         else:
             completed = 0
+        self.probe.msa_aborted(request, worker, self._now, completed)
         key = chain_content_key(request.sample.assembly)
         cost = self.msa_cost_model.cost(request.sample)
         if completed > 0:
@@ -784,17 +895,27 @@ class ServingGateway:
         request.state = RequestState.QUEUED_MSA
         request.stage_entered_at = self._now
         self._msa_queue.push(request)
+        self.probe.msa_queued(request, self._now)
 
     def _oom_spike(self, event: FaultEvent) -> bool:
+        """Co-tenant memory pressure: shrink the worker's usable HBM
+        by ``magnitude`` of capacity for the event window."""
         health = self._health_for(event)
         if health is None or event.seconds <= 0:
             return False
         device = self.workers[event.worker]._sim.gpu
         health.pressure_until = self._now + event.seconds
         health.pressure_bytes = event.magnitude * device.memory_bytes
+        self.probe.fault_window(
+            event.domain, event.worker, "oom_spike", self._now,
+            event.seconds, magnitude=round(event.magnitude, 6),
+        )
         return True
 
     def _db_stall(self, event: FaultEvent) -> bool:
+        """A database read stall: extend the in-flight scan by the
+        stall (rescheduling its completion under a fresh job token), or
+        bank it against the worker's next scan when idle."""
         health = self._health_for(event)
         if health is None or event.seconds <= 0:
             return False
@@ -816,15 +937,26 @@ class ServingGateway:
                     _EV_MSA_DONE, health.job_expected_end,
                     (event.worker, request, health.job_token),
                 )
+                self.probe.fault_instant(
+                    event.domain, event.worker, "db_stall", self._now,
+                    request_id=request.request_id,
+                    seconds=round(stall, 6),
+                )
             else:   # pragma: no cover - busy workers always have a job
                 health.job_token = old_token
         else:
             # Nothing in flight: the stalled stream hits whatever scan
             # starts next on this worker.
             health.pending_stall += stall
+            self.probe.fault_instant(
+                event.domain, event.worker, "db_stall", self._now,
+                seconds=round(stall, 6),
+            )
         return True
 
     def _db_corruption(self, event: FaultEvent) -> bool:
+        """Mark the in-flight scan's stream corrupt; detection happens
+        at completion (``_msa_done``), which forces a clean rerun."""
         health = self._health_for(event)
         if health is None or not health.busy:
             return False
@@ -833,22 +965,37 @@ class ServingGateway:
             return False
         job[3] = True
         self.fault_stats.corruptions += 1
+        self.probe.fault_instant(
+            event.domain, event.worker, "db_corruption", self._now,
+            request_id=job[0].request_id,
+        )
         return True
 
     def _slow_node(self, event: FaultEvent) -> bool:
+        """Degrade the worker by ``magnitude``x for the event window
+        (thermal throttling / noisy neighbour); scans and batches
+        started inside the window run proportionally longer."""
         health = self._health_for(event)
         if health is None or event.seconds <= 0 or event.magnitude <= 1.0:
             return False
         health.slow_until = self._now + event.seconds
         health.slow_factor = event.magnitude
+        self.probe.fault_window(
+            event.domain, event.worker, "slow_node", self._now,
+            event.seconds, factor=round(event.magnitude, 6),
+        )
         return True
 
     def _worker_up(self, domain: str, worker: int, mode: str) -> None:
+        """Re-admit a worker to its free pool: ``restart``/``return``
+        bring it back up (breaker permitting); ``probe`` half-opens an
+        expired breaker so one trial dispatch can close it."""
         health = (
             self.gpu_health[worker] if domain == GPU_DOMAIN
             else self.msa_health[worker]
         )
         if mode == "probe":
+            self.probe.breaker_probe(domain, worker, self._now)
             health.breaker.to_half_open()
             if not health.up or health.busy:
                 return   # still down/busy; re-entry happens on its event
@@ -856,6 +1003,7 @@ class ServingGateway:
             health.up = True
             health.restarts += 1
             self.fault_stats.restarts += 1
+            self.probe.worker_up(domain, worker, self._now, mode)
             if not health.breaker.allows_dispatch:
                 return   # breaker is open; the probe event re-admits it
         pool = self._free_gpu if domain == GPU_DOMAIN else self._free_msa

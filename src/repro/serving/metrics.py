@@ -20,7 +20,11 @@ def percentile(values: Sequence[float], q: float) -> float:
     """Linear-interpolation percentile (numpy's default), pure Python.
 
     Deterministic and dependency-free so golden summaries do not move
-    with numpy versions.
+    with numpy versions.  The interpolation reproduces numpy's lerp
+    *bit for bit* (``a + (b - a) * t``, mirrored around ``t = 0.5``) —
+    the earlier ``a * (1 - t) + b * t`` form was algebraically equal
+    but drifted from ``numpy.percentile`` by a few ulps, which the
+    property test in ``tests/test_serving_gateway.py`` now pins.
     """
     if not 0.0 <= q <= 100.0:
         raise ValueError("q must be in [0, 100]")
@@ -32,11 +36,16 @@ def percentile(values: Sequence[float], q: float) -> float:
     ordered = sorted(values)
     if len(ordered) == 1:
         return ordered[0]
-    rank = (len(ordered) - 1) * q / 100.0
+    # Match numpy's evaluation order exactly: (q/100) * (n-1), not
+    # ((n-1) * q) / 100 — they differ in the last ulp for some q.
+    rank = q / 100.0 * (len(ordered) - 1)
     lo = int(rank)
     hi = min(lo + 1, len(ordered) - 1)
     frac = rank - lo
-    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+    diff = ordered[hi] - ordered[lo]
+    if frac >= 0.5:
+        return ordered[hi] - diff * (1.0 - frac)
+    return ordered[lo] + diff * frac
 
 
 @dataclasses.dataclass(frozen=True)
@@ -52,6 +61,7 @@ class LatencyStats:
 
     @classmethod
     def of(cls, values: Sequence[float]) -> "LatencyStats":
+        """Summarise a population (count/mean/p50/p95/p99/max)."""
         # The empty-safe entry point: an all-shed or all-failed run
         # yields the well-defined zero-count stats object rather than
         # tripping percentile()'s empty-sequence ValueError.
@@ -67,6 +77,7 @@ class LatencyStats:
         )
 
     def as_dict(self) -> Dict[str, float]:
+        """Ordered, 6-dp-rounded dict (the golden-summary form)."""
         return OrderedDict(
             count=self.count,
             mean=round(self.mean, 6),
@@ -115,6 +126,7 @@ class ServingReport:
 
     @property
     def throughput_rps(self) -> float:
+        """Full-quality completions per simulated second."""
         if self.duration_seconds <= 0:
             return 0.0
         return self.completed / self.duration_seconds
@@ -153,9 +165,11 @@ class ServingReport:
         return out
 
     def to_json(self) -> str:
+        """The summary as indented JSON (what the golden files hold)."""
         return json.dumps(self.summary(), indent=2)
 
     def render(self) -> str:
+        """Multi-line ASCII rendering for the CLI's text format."""
         s = self.summary()
         lines = [
             f"-- serving gateway on {self.platform_name}: "
@@ -219,6 +233,9 @@ def build_report(
     oom_events: int,
     fault_summary: Optional[Dict[str, object]] = None,
 ) -> ServingReport:
+    """Assemble the report from the finished request ledger plus the
+    gateway's run counters.  Latency sections cover full-quality
+    completions only; degraded completions are counted separately."""
     finished = [r for r in requests if r.state is RequestState.DONE]
     completed = [r for r in finished if not r.degraded]
     degraded = [r for r in finished if r.degraded]

@@ -35,6 +35,7 @@ class RequestState(enum.Enum):
 
     @property
     def terminal(self) -> bool:
+        """States with no further transitions (done or failed)."""
         return self in (
             RequestState.DONE, RequestState.SHED,
             RequestState.TIMED_OUT, RequestState.FAILED_OOM,
@@ -85,9 +86,11 @@ class ServingRequest:
 
     @property
     def num_tokens(self) -> int:
+        """Post-tokenisation size; drives bucketing and GPU cost."""
         return self.sample.assembly.num_tokens
 
     def bucket(self, buckets) -> int:
+        """The XLA padded-shape bucket this request batches under."""
         return bucket_for(self.num_tokens, buckets)
 
     @property
@@ -102,6 +105,7 @@ class ArrivalProcess:
     """Produces the arrival timestamps of an n-request stream."""
 
     def times(self, n: int) -> List[float]:
+        """``n`` non-decreasing arrival timestamps in seconds."""
         raise NotImplementedError
 
 
@@ -120,6 +124,7 @@ class PoissonArrivals(ArrivalProcess):
         self.seed = seed
 
     def times(self, n: int) -> List[float]:
+        """``n`` exponential inter-arrival gaps, cumulatively summed."""
         rng = random.Random(self.seed)
         now, out = 0.0, []
         for _ in range(n):
@@ -137,6 +142,8 @@ class TraceArrivals(ArrivalProcess):
             raise ValueError("arrival timestamps must be >= 0")
 
     def times(self, n: int) -> List[float]:
+        """The first ``n`` trace timestamps; error if the trace is
+        shorter than the requested stream."""
         if n > len(self.timestamps):
             raise ValueError(
                 f"trace has {len(self.timestamps)} arrivals, {n} requested"
@@ -188,6 +195,7 @@ class BoundedFifo:
         self._valid = 0
 
     def push(self, request: ServingRequest) -> None:
+        """Append and count the entry as valid."""
         self._items.append(request)
         self._valid += 1
 
@@ -198,6 +206,8 @@ class BoundedFifo:
     def pop_valid(
         self, predicate: Callable[[ServingRequest], bool]
     ) -> Optional[ServingRequest]:
+        """Pop the oldest entry satisfying ``predicate``, discarding
+        invalidated entries met on the way; None if none qualifies."""
         while self._items:
             request = self._items.popleft()
             if predicate(request):

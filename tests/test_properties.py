@@ -20,6 +20,7 @@ from repro.sequences.complexity import (
     shannon_entropy,
     windowed_entropy,
 )
+from repro.serving.metrics import percentile
 from repro.trace import AccessPattern, OpRecord, WorkloadTrace
 
 protein_seq = st.text(alphabet=PROTEIN_ALPHABET, min_size=1, max_size=60)
@@ -48,6 +49,49 @@ class TestSequenceProperties:
     @given(st.text(alphabet="Q", min_size=12, max_size=40))
     def test_homopolymer_fully_masked(self, seq):
         assert all(low_complexity_mask(seq))
+
+
+class TestPercentileProperties:
+    """percentile() must agree with numpy.percentile bit for bit.
+
+    The serving goldens depend on the pure-Python implementation, so
+    any drift from numpy's linear-interpolation method is a bug — an
+    earlier formulation differed by a few ulps and this test is what
+    pins the fix.
+    """
+
+    populations = st.lists(
+        st.floats(
+            min_value=-1e12, max_value=1e12,
+            allow_nan=False, allow_infinity=False,
+        ),
+        min_size=1, max_size=100,
+    )
+    quantiles = st.one_of(
+        st.sampled_from([0.0, 50.0, 95.0, 99.0, 100.0]),
+        st.floats(min_value=0.0, max_value=100.0,
+                  allow_nan=False, allow_infinity=False),
+    )
+
+    @given(populations, quantiles)
+    @settings(max_examples=300, deadline=None)
+    def test_matches_numpy_exactly(self, values, q):
+        assert percentile(values, q) == float(np.percentile(values, q))
+
+    @given(populations)
+    def test_extremes_are_min_and_max(self, values):
+        assert percentile(values, 0.0) == min(values)
+        assert percentile(values, 100.0) == max(values)
+
+    @given(populations, quantiles)
+    def test_bounded_by_population(self, values, q):
+        result = percentile(values, q)
+        assert min(values) <= result <= max(values)
+
+    @given(populations, st.floats(min_value=0.0, max_value=50.0,
+                                  allow_nan=False))
+    def test_monotone_in_q(self, values, q):
+        assert percentile(values, q) <= percentile(values, 100.0 - q)
 
 
 class TestAlignmentProperties:
