@@ -1,8 +1,25 @@
 """Benchmark fixtures: a pre-warmed runner so pytest-benchmark measures
-the simulation + rendering work, not the one-off functional searches."""
+the simulation + rendering work, not the one-off functional searches —
+plus a median-of-k recorder that persists ``BENCH_*.json`` artifacts
+for the regression gate (``benchmarks/check_regression.py``).
+
+Raw seconds are not comparable across machines, so every artifact also
+stores a *canary*: the median time of a fixed numpy workload measured
+in the same session.  The regression gate compares canary-normalised
+ratios, which makes a committed baseline meaningful on any host.
+"""
 
 from __future__ import annotations
 
+import dataclasses
+import json
+import os
+import statistics
+import time
+from pathlib import Path
+from typing import Callable, Dict
+
+import numpy as np
 import pytest
 
 from repro.core.runner import BenchmarkRunner
@@ -12,6 +29,9 @@ from repro.sequences.builtin import builtin_samples
 BENCH_MSA_CONFIG = MsaEngineConfig(
     num_background=24, homologs_per_query=4, seed=7
 )
+
+#: Where `record()`-ed medians are written at session end.
+BENCH_OUT_DIR = Path(__file__).resolve().parent / "out"
 
 
 @pytest.fixture(scope="session")
@@ -25,3 +45,87 @@ def warm_runner() -> BenchmarkRunner:
 @pytest.fixture(scope="session")
 def msa_engine(warm_runner) -> MsaEngine:
     return warm_runner.msa_engine
+
+
+# ---------------------------------------------------------------------------
+# Median-of-k regression recorder
+# ---------------------------------------------------------------------------
+
+
+def _canary_workload() -> None:
+    """Fixed numpy workload used to normalise away machine speed."""
+    rng = np.random.default_rng(12345)
+    a = rng.normal(size=(160, 160))
+    b = rng.normal(size=(160, 160))
+    acc = np.zeros_like(a)
+    for _ in range(6):
+        acc += a @ b
+        b = np.tanh(acc)
+
+
+@dataclasses.dataclass
+class BenchEntry:
+    median_seconds: float
+    repeats: int
+
+
+class BenchRecorder:
+    """Collects median-of-k wall timings, grouped per artifact file."""
+
+    def __init__(self) -> None:
+        self.groups: Dict[str, Dict[str, BenchEntry]] = {}
+        self._canary: float = 0.0
+
+    def canary_seconds(self) -> float:
+        if not self._canary:
+            self._canary = self._median(5, _canary_workload)
+        return self._canary
+
+    @staticmethod
+    def _median(repeats: int, fn: Callable[[], object]) -> float:
+        times = []
+        for _ in range(max(1, repeats)):
+            t0 = time.perf_counter()
+            fn()
+            times.append(time.perf_counter() - t0)
+        return statistics.median(times)
+
+    def record(
+        self, group: str, name: str, fn: Callable[[], object],
+        repeats: int = 5,
+    ) -> float:
+        """Time ``fn`` median-of-``repeats`` and store it under
+        ``BENCH_<group>.json`` / ``name``.  Returns the median."""
+        median = self._median(repeats, fn)
+        self.groups.setdefault(group, {})[name] = BenchEntry(
+            median_seconds=median, repeats=repeats
+        )
+        return median
+
+    def flush(self, out_dir: Path) -> None:
+        if not self.groups:
+            return
+        out_dir.mkdir(parents=True, exist_ok=True)
+        for group, entries in sorted(self.groups.items()):
+            payload = {
+                "canary_seconds": self.canary_seconds(),
+                "host_cores": os.cpu_count() or 1,
+                "entries": {
+                    name: dataclasses.asdict(entry)
+                    for name, entry in sorted(entries.items())
+                },
+            }
+            path = out_dir / f"BENCH_{group}.json"
+            path.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+_RECORDER = BenchRecorder()
+
+
+@pytest.fixture(scope="session")
+def bench_recorder() -> BenchRecorder:
+    return _RECORDER
+
+
+def pytest_sessionfinish(session, exitstatus):
+    _RECORDER.flush(BENCH_OUT_DIR)

@@ -48,6 +48,7 @@ from .hardware import (
 )
 from .model import AlphaFold3Model, ModelConfig, Prediction
 from .msa import MsaEngine, MsaEngineConfig
+from .parallel import ExecutionPlan
 from .sequences import (
     ALL_SAMPLES,
     Assembly,
@@ -85,6 +86,7 @@ __all__ = [
     "Chain",
     "DESKTOP",
     "DESKTOP_128G",
+    "ExecutionPlan",
     "GpuOutOfMemoryError",
     "InferenceServer",
     "InputSample",

@@ -13,6 +13,7 @@ equivalent entry points over the simulated platforms::
 from __future__ import annotations
 
 import argparse
+import functools
 import json
 import sys
 from typing import List, Optional
@@ -23,6 +24,7 @@ from .core.suite import AfSysBench
 from .hardware.memory import OutOfMemoryError
 from .hardware.platform import PLATFORMS, get_platform
 from .msa.engine import MsaEngine, MsaEngineConfig
+from .parallel import ExecutionPlan
 from .sequences.builtin import builtin_samples
 from .sequences.input_json import load_json
 from .sequences.sample import InputSample, classify_complexity
@@ -30,9 +32,16 @@ from .sequences.sample import InputSample, classify_complexity
 GIB = 1024 ** 3
 
 
-def _small_engine(seed: int = 0) -> MsaEngine:
+@functools.lru_cache(maxsize=8)
+def _small_engine(
+    seed: int = 0, plan: Optional[ExecutionPlan] = None
+) -> MsaEngine:
+    # Cached so repeated CLI invocations in one process (tests, the
+    # REPL) reuse each sample's functional search results; engines are
+    # keyed by (seed, plan) and MsaEngine itself caches per sample.
     return MsaEngine(
-        MsaEngineConfig(num_background=40, homologs_per_query=6, seed=seed)
+        MsaEngineConfig(num_background=40, homologs_per_query=6, seed=seed),
+        plan=plan,
     )
 
 
@@ -61,7 +70,10 @@ def _resolve_sample(args: argparse.Namespace) -> InputSample:
 def cmd_run(args: argparse.Namespace) -> int:
     sample = _resolve_sample(args)
     platform = get_platform(args.platform)
-    pipeline = Af3Pipeline(platform, msa_engine=_small_engine(args.seed))
+    plan = ExecutionPlan(workers=getattr(args, "workers", 1))
+    pipeline = Af3Pipeline(
+        platform, msa_engine=_small_engine(args.seed, plan), plan=plan
+    )
     try:
         result = pipeline.run(sample, threads=args.threads)
     except OutOfMemoryError as exc:
@@ -385,6 +397,77 @@ def cmd_observe_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_scale(args: argparse.Namespace) -> int:
+    """Thread/worker scaling curves: simulated, measured, or both."""
+    import os
+    import pathlib
+
+    texts = {}
+    if not args.measured_only:
+        from .experiments import fig4_msa_threads, fig6_inference_threads
+
+        runner = BenchmarkRunner(
+            msa_config=MsaEngineConfig(
+                num_background=40, homologs_per_query=6, seed=args.seed
+            )
+        )
+        texts["scale_simulated_fig4.txt"] = fig4_msa_threads.render(runner)
+        texts["scale_simulated_fig6.txt"] = (
+            fig6_inference_threads.render(runner)
+        )
+    if args.measured or args.measured_only:
+        from .experiments import measured_scaling
+
+        texts["scale_measured.txt"] = measured_scaling.render(
+            worker_counts=tuple(args.workers), seed=args.seed
+        )
+    if args.out:
+        out_dir = pathlib.Path(args.out)
+        os.makedirs(out_dir, exist_ok=True)
+        for name, text in texts.items():
+            (out_dir / name).write_text(text + "\n")
+        print(f"wrote {', '.join(sorted(texts))} to {out_dir}/")
+    else:
+        print("\n\n".join(texts[name] for name in sorted(texts)))
+    return 0
+
+
+def cmd_observe_export_scan_trace(args: argparse.Namespace) -> int:
+    """Chrome trace of a *real* (measured) parallel MSA database scan."""
+    from .observability import chrome_trace_json
+    from .parallel import scan_timeline
+
+    sample = _resolve_sample(args)
+    engine = MsaEngine(
+        MsaEngineConfig(
+            num_background=args.num_background,
+            homologs_per_query=6,
+            seed=args.seed,
+        ),
+        plan=ExecutionPlan(workers=args.workers, backend=args.backend),
+    )
+    result = engine.run(sample)
+    outcomes, labels = [], []
+    for search in result.searches:
+        for outcome in getattr(search, "scan_outcomes", []):
+            outcomes.append(outcome)
+            labels.append(f"{search.query_name}:{search.database_name}")
+    recorder = scan_timeline(
+        outcomes, track_prefix="msa-worker", labels=labels
+    )
+    metadata = {
+        "sample": sample.name,
+        "seed": args.seed,
+        "workers": args.workers,
+        "measured": True,
+    }
+    text = chrome_trace_json(recorder, metadata=metadata, indent=args.indent)
+    if not text.endswith("\n"):
+        text += "\n"
+    _write_out(text, args.out)
+    return 0
+
+
 def cmd_samples(_args: argparse.Namespace) -> int:
     from .core.report import render_table
 
@@ -417,6 +500,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--platform", default="Server",
                      choices=sorted(PLATFORMS), help="platform preset")
     run.add_argument("--threads", type=int, default=8)
+    run.add_argument("--workers", type=int, default=1,
+                     help="real worker processes for the functional "
+                          "MSA database scans (results are "
+                          "byte-identical for any count)")
     run.add_argument("--format", choices=["text", "json"], default="text")
     run.set_defaults(func=cmd_run)
 
@@ -573,6 +660,41 @@ def build_parser() -> argparse.ArgumentParser:
     )
     explain_p.add_argument("request_id", type=int)
     explain_p.set_defaults(func=cmd_observe_explain)
+
+    scale = sub.add_parser(
+        "scale",
+        help="thread-scaling curves: simulated (Figs. 4/6) and/or "
+             "measured on this machine's real hot paths",
+    )
+    scale.add_argument("--measured", action="store_true",
+                       help="also measure real wall-clock scaling of "
+                            "the sharded scan and Pairformer block")
+    scale.add_argument("--measured-only", action="store_true",
+                       help="skip the simulated curves")
+    scale.add_argument("--workers", nargs="*", type=int,
+                       default=[1, 2, 4, 7],
+                       help="worker counts for the measured curves")
+    scale.add_argument("--out", default=None,
+                       help="directory to write curve files into "
+                            "(default: print to stdout)")
+    scale.set_defaults(func=cmd_scale)
+
+    export_scan = observe_sub.add_parser(
+        "export-scan-trace",
+        help="Chrome/Perfetto trace of a real parallel MSA database "
+             "scan (measured worker tracks, not simulated)",
+    )
+    export_scan.add_argument("--sample", default="2PV7")
+    export_scan.add_argument("--json", help="AF3 JSON input file")
+    export_scan.add_argument("--workers", type=int, default=4)
+    export_scan.add_argument("--backend", default="process",
+                             choices=["process", "thread", "serial"])
+    export_scan.add_argument("--num-background", type=int, default=40,
+                             help="synthetic database background size")
+    export_scan.add_argument("--out", default="-",
+                             help="output file ('-' for stdout)")
+    export_scan.add_argument("--indent", type=int, default=None)
+    export_scan.set_defaults(func=cmd_observe_export_scan_trace)
 
     samples = sub.add_parser("samples", help="list builtin inputs")
     samples.set_defaults(func=cmd_samples)

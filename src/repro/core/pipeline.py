@@ -26,6 +26,7 @@ from ..hardware.platform import Platform
 from ..hardware.storage import IostatReport, PageCacheModel, simulate_iostat
 from ..model.config import ModelConfig
 from ..msa.engine import MsaEngine, MsaEngineConfig, MsaPhaseResult
+from ..parallel.plan import ExecutionPlan
 from ..sequences.sample import InputSample
 
 #: AF3's default thread setting, which the paper shows can be
@@ -80,9 +81,13 @@ class Af3Pipeline:
         platform: Platform,
         msa_engine: Optional[MsaEngine] = None,
         model_config: Optional[ModelConfig] = None,
+        plan: Optional[ExecutionPlan] = None,
     ) -> None:
         self.platform = platform
-        self.msa_engine = msa_engine or MsaEngine()
+        # The plan controls how the *functional* MSA scans execute
+        # (real workers); it never changes simulated results.
+        self.plan = plan or ExecutionPlan.serial()
+        self.msa_engine = msa_engine or MsaEngine(plan=self.plan)
         self.model_config = model_config or ModelConfig.af3()
         self._cpu_sim = CpuSimulator(platform.cpu)
         self._inference_sim = InferenceSimulator(
@@ -107,6 +112,18 @@ class Af3Pipeline:
         AF3's lack of static memory validation (the run dies mid-phase
         rather than refusing to start).
         """
+        if check_memory:
+            # Peak MSA memory is a pure function of chain lengths and
+            # molecule types (MSA width == query length), so an
+            # OOM-doomed run can be failed before paying for the
+            # functional searches.  The predicted value is bit-equal
+            # to the post-run measurement, so behaviour is unchanged —
+            # only the point of failure moves earlier.
+            predicted = self.msa_engine.predicted_peak_memory_bytes(
+                sample, threads
+            )
+            if self.platform.memory.check(predicted) is MemoryOutcome.OOM:
+                raise OutOfMemoryError("msa", predicted, self.platform.memory)
         msa_result = self.msa_engine.run(sample)
         peak = msa_result.peak_memory_bytes(threads)
         outcome = self.platform.memory.check(peak)

@@ -1,11 +1,26 @@
-"""Attention primitives used across Pairformer and Diffusion modules."""
+"""Attention primitives used across Pairformer and Diffusion modules.
+
+The attention core (logits -> softmax -> context) optionally executes
+in chunks along the leading axis of the head-split ``(..., H, L, D)``
+tensors — batch rows for triangle attention, heads for single
+attention — under an :class:`~repro.parallel.plan.ExecutionPlan`.
+Chunking only ever splits *batched* numpy operations along a leading
+batch axis, which is bit-exact: batched matmul, broadcast add, and
+last-axis softmax all compute each batch element independently, so the
+concatenated chunks equal the unchunked result to the last bit (the
+differential tests pin this).  The 2-D q/k/v/gate/out projections are
+never chunked — BLAS gemm kernels are *not* bit-stable across M-dim
+splits — which is exactly the design rule docs/parallelism.md audits.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional
 
 import numpy as np
 
+from ..parallel.plan import ExecutionPlan
 from .ops import OpCounter, init_linear, linear, matmul, sigmoid, softmax
 
 
@@ -61,21 +76,97 @@ class MultiHeadAttention:
         x_kv: Optional[np.ndarray] = None,
         bias: Optional[np.ndarray] = None,
         counter: Optional[OpCounter] = None,
+        plan: Optional[ExecutionPlan] = None,
     ) -> np.ndarray:
         """Attention over the second-to-last axis.
 
         ``x_q``: (..., Lq, C); ``x_kv``: (..., Lk, C) (defaults to
         ``x_q``); ``bias``: broadcastable to (..., H, Lq, Lk).
+        ``plan`` opts the attention core into chunked (and optionally
+        threaded) execution; outputs are bit-equal for every plan.
         """
         x_kv = x_q if x_kv is None else x_kv
         q = split_heads(linear(x_q, self.params["q"], counter), self.num_heads)
         k = split_heads(linear(x_kv, self.params["k"], counter), self.num_heads)
         v = split_heads(linear(x_kv, self.params["v"], counter), self.num_heads)
-        logits = matmul(q, np.swapaxes(k, -1, -2), counter) / np.sqrt(self.head_dim)
-        if bias is not None:
-            logits = logits + bias
-        weights = softmax(logits, axis=-1, counter=counter)
-        context = matmul(weights, v, counter)
+        if plan is not None and not plan.is_serial and q.ndim >= 3:
+            context = self._chunked_core(q, k, v, bias, counter, plan)
+        else:
+            logits = matmul(q, np.swapaxes(k, -1, -2), counter) / np.sqrt(
+                self.head_dim
+            )
+            if bias is not None:
+                logits = logits + bias
+            weights = softmax(logits, axis=-1, counter=counter)
+            context = matmul(weights, v, counter)
         merged = merge_heads(context)
         gate = sigmoid(linear(x_q, self.params["gate"], counter), counter)
         return linear(merged * gate, self.params["out"], counter)
+
+    def _chunked_core(
+        self,
+        q: np.ndarray,
+        k: np.ndarray,
+        v: np.ndarray,
+        bias: Optional[np.ndarray],
+        counter: Optional[OpCounter],
+        plan: ExecutionPlan,
+    ) -> np.ndarray:
+        """logits -> softmax -> context, chunked along ``q``'s leading
+        axis (batch rows, or heads when there is no batch axis)."""
+        denom = np.sqrt(self.head_dim)
+        # Which bias axis lines up with q's axis 0 (right-aligned
+        # broadcasting); size-1 axes broadcast and are never sliced.
+        bias_axis = None
+        if bias is not None:
+            axis = bias.ndim - q.ndim
+            if axis >= 0 and bias.shape[axis] != 1:
+                bias_axis = axis
+
+        def one_chunk(lo_hi):
+            lo, hi = lo_hi
+            logits = np.matmul(
+                q[lo:hi], np.swapaxes(k[lo:hi], -1, -2)
+            ) / denom
+            if bias is not None:
+                if bias_axis is not None:
+                    sl = [slice(None)] * bias.ndim
+                    sl[bias_axis] = slice(lo, hi)
+                    logits = logits + bias[tuple(sl)]
+                else:
+                    logits = logits + bias
+            weights = softmax(logits, axis=-1)
+            return np.matmul(weights, v[lo:hi])
+
+        bounds = plan.chunk_bounds(q.shape[0])
+        if plan.workers > 1 and len(bounds) > 1:
+            with ThreadPoolExecutor(max_workers=plan.workers) as pool:
+                chunks: List[np.ndarray] = list(pool.map(one_chunk, bounds))
+        else:
+            chunks = [one_chunk(b) for b in bounds]
+        context = np.concatenate(chunks, axis=0)
+        if counter is not None:
+            # Same totals the serial matmul/softmax/matmul path records
+            # (all three are linear in the batch axis).
+            lq, lk = q.shape[-2], k.shape[-2]
+            logits_size = (q.size // self.head_dim) * lk
+            logits_nbytes = float(logits_size * context.dtype.itemsize)
+            counter.record(
+                flops=2.0 * logits_size * self.head_dim,
+                bytes_read=float(q.nbytes + k.nbytes),
+                bytes_written=logits_nbytes,
+                activations_bytes=logits_nbytes,
+            )
+            counter.record(
+                flops=5.0 * logits_size,
+                bytes_read=logits_nbytes,
+                bytes_written=logits_nbytes,
+                activations_bytes=logits_nbytes,
+            )
+            counter.record(
+                flops=2.0 * context.size * lk,
+                bytes_read=logits_nbytes + float(v.nbytes),
+                bytes_written=float(context.nbytes),
+                activations_bytes=float(context.nbytes),
+            )
+        return context

@@ -8,6 +8,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from ..parallel.plan import ExecutionPlan
 from .config import ModelConfig
 from .diffusion import DiffusionModule
 from .embedding import InputEmbedder, MsaModule, NUM_TOKEN_CLASSES
@@ -71,6 +72,7 @@ class AlphaFold3Model:
         num_diffusion_steps: Optional[int] = None,
         num_recycles: int = 1,
         counter: Optional[OpCounter] = None,
+        plan: Optional["ExecutionPlan"] = None,
     ) -> Prediction:
         """Run the full pipeline on integer token classes.
 
@@ -79,7 +81,9 @@ class AlphaFold3Model:
         ``num_recycles`` re-runs the trunk with the previous cycle's
         normalised outputs folded back into the initial embeddings
         (AF3 recycles the trunk several times; the default of 1 keeps
-        test-time runs cheap).
+        test-time runs cheap).  ``plan`` opts the Pairformer trunk into
+        chunked/threaded execution; predictions are bit-equal for
+        every plan.
         """
         if num_recycles < 1:
             raise ValueError("num_recycles must be >= 1")
@@ -107,7 +111,7 @@ class AlphaFold3Model:
                         pair, self.recycle_pair_norm["gamma"],
                         self.recycle_pair_norm["beta"], counter,
                     )
-            single, pair = self.pairformer(single, pair, counter)
+            single, pair = self.pairformer(single, pair, counter, plan)
         coords, _ = self.diffusion.sample(
             single, pair, self._sample_rng,
             num_steps=num_diffusion_steps, counter=counter,

@@ -13,6 +13,7 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from ..parallel.plan import ExecutionPlan
 from .attention import MultiHeadAttention
 from .config import ModelConfig
 from .ops import OpCounter, init_linear, layer_norm, linear, relu
@@ -64,17 +65,22 @@ class PairformerBlock:
         single: np.ndarray,
         pair: np.ndarray,
         counter: Optional[OpCounter] = None,
+        plan: Optional[ExecutionPlan] = None,
     ) -> Tuple[np.ndarray, np.ndarray]:
-        """Residual-update both representations; returns (single, pair)."""
+        """Residual-update both representations; returns (single, pair).
+
+        ``plan`` opts the triangle contractions and attention cores
+        into chunked/threaded execution (bit-equal for every plan).
+        """
         counter = counter or OpCounter()
         with counter.scope("pairformer.triangle_mult_outgoing"):
-            pair = pair + self.tri_mult_out(pair, counter)
+            pair = pair + self.tri_mult_out(pair, counter, plan)
         with counter.scope("pairformer.triangle_mult_incoming"):
-            pair = pair + self.tri_mult_in(pair, counter)
+            pair = pair + self.tri_mult_in(pair, counter, plan)
         with counter.scope("pairformer.triangle_attention_starting"):
-            pair = pair + self.tri_attn_start(pair, counter)
+            pair = pair + self.tri_attn_start(pair, counter, plan)
         with counter.scope("pairformer.triangle_attention_ending"):
-            pair = pair + self.tri_attn_end(pair, counter)
+            pair = pair + self.tri_attn_end(pair, counter, plan)
         with counter.scope("pairformer.pair_transition"):
             pair = pair + self.pair_transition(pair, counter)
         with counter.scope("pairformer.single_attention"):
@@ -83,7 +89,9 @@ class PairformerBlock:
             )
             bias = linear(pair, self.pair_bias, counter)       # (N, N, H)
             bias = np.moveaxis(bias, -1, 0)                    # (H, N, N)
-            single = single + self.single_attention(sn, bias=bias, counter=counter)
+            single = single + self.single_attention(
+                sn, bias=bias, counter=counter, plan=plan
+            )
         with counter.scope("pairformer.single_transition"):
             single = single + self.single_transition(single, counter)
         return single, pair
@@ -105,6 +113,7 @@ class Pairformer:
         single: np.ndarray,
         pair: np.ndarray,
         counter: Optional[OpCounter] = None,
+        plan: Optional[ExecutionPlan] = None,
     ) -> Tuple[np.ndarray, np.ndarray]:
         n = pair.shape[0]
         if single.shape != (n, self.config.c_single):
@@ -112,5 +121,5 @@ class Pairformer:
         if pair.shape != (n, n, self.config.c_pair):
             raise ValueError("pair representation shape mismatch")
         for block in self.blocks:
-            single, pair = block(single, pair, counter)
+            single, pair = block(single, pair, counter, plan)
         return single, pair

@@ -17,10 +17,12 @@ Two families operate on the pair representation ``z`` of shape
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, Optional
 
 import numpy as np
 
+from ..parallel.plan import ExecutionPlan
 from .attention import MultiHeadAttention
 from .ops import (
     OpCounter,
@@ -62,9 +64,18 @@ class TriangleMultiplication:
         self.proj_out = init_linear(rng, c_hidden, c_pair)
 
     def __call__(
-        self, z: np.ndarray, counter: Optional[OpCounter] = None
+        self,
+        z: np.ndarray,
+        counter: Optional[OpCounter] = None,
+        plan: Optional[ExecutionPlan] = None,
     ) -> np.ndarray:
-        """Update ``z`` (N, N, c_pair); returns the residual delta."""
+        """Update ``z`` (N, N, c_pair); returns the residual delta.
+
+        Under a non-serial ``plan`` the N x N x N contraction runs in
+        output-row chunks (optionally on a thread pool); each output
+        row block is an independent einsum over the full ``k`` axis, so
+        the chunked result is bit-equal to the one-shot contraction.
+        """
         if z.ndim != 3 or z.shape[0] != z.shape[1]:
             raise ValueError("pair representation must be (N, N, c)")
         zn = layer_norm(z, self.norm_in["gamma"], self.norm_in["beta"], counter)
@@ -76,7 +87,9 @@ class TriangleMultiplication:
         )
         # Outgoing: out[i,j] = sum_k a[i,k,:] * b[j,k,:]
         # Incoming: out[i,j] = sum_k a[k,i,:] * b[k,j,:]
-        if self.outgoing:
+        if plan is not None and not plan.is_serial:
+            contracted = self._chunked_contract(a, b, plan)
+        elif self.outgoing:
             contracted = np.einsum("ikc,jkc->ijc", a, b)
         else:
             contracted = np.einsum("kic,kjc->ijc", a, b)
@@ -93,6 +106,33 @@ class TriangleMultiplication:
         )
         gate = sigmoid(linear(zn, self.gate_out, counter), counter)
         return linear(normed, self.proj_out, counter) * gate
+
+    def _chunked_contract(
+        self, a: np.ndarray, b: np.ndarray, plan: ExecutionPlan
+    ) -> np.ndarray:
+        """The triangle contraction in output-row chunks.
+
+        Chunks write disjoint row blocks of a preallocated output, so
+        the thread pool needs no synchronisation.
+        """
+        n = a.shape[0]
+        out = np.empty((n, n, self.c_hidden), dtype=a.dtype)
+
+        def one_chunk(lo_hi):
+            lo, hi = lo_hi
+            if self.outgoing:
+                out[lo:hi] = np.einsum("ikc,jkc->ijc", a[lo:hi], b)
+            else:
+                out[lo:hi] = np.einsum("kic,kjc->ijc", a[:, lo:hi], b)
+
+        bounds = plan.chunk_bounds(n)
+        if plan.workers > 1 and len(bounds) > 1:
+            with ThreadPoolExecutor(max_workers=plan.workers) as pool:
+                list(pool.map(one_chunk, bounds))
+        else:
+            for b_ in bounds:
+                one_chunk(b_)
+        return out
 
 
 class TriangleAttention:
@@ -113,7 +153,10 @@ class TriangleAttention:
         self.bias_proj = init_linear(rng, c_pair, num_heads)
 
     def __call__(
-        self, z: np.ndarray, counter: Optional[OpCounter] = None
+        self,
+        z: np.ndarray,
+        counter: Optional[OpCounter] = None,
+        plan: Optional[ExecutionPlan] = None,
     ) -> np.ndarray:
         """Attend along rows (starting) or columns (ending) of ``z``."""
         if z.ndim != 3 or z.shape[0] != z.shape[1]:
@@ -125,7 +168,7 @@ class TriangleAttention:
         # variant; the ending variant sees the transposed frame).
         bias = linear(work, self.bias_proj, counter)  # (N, N, H)
         bias = np.moveaxis(bias, -1, 0)[None, ...]    # (1, H, N, N)
-        out = self.attention(work, bias=bias, counter=counter)
+        out = self.attention(work, bias=bias, counter=counter, plan=plan)
         if not self.starting:
             out = np.swapaxes(out, 0, 1)
         return out

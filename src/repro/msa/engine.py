@@ -18,6 +18,8 @@ import dataclasses
 import zlib
 from typing import Dict, List, Optional, Tuple
 
+from ..parallel.executor import ExecutionOutcome
+from ..parallel.plan import ExecutionPlan
 from ..sequences.alphabets import MoleculeType
 from ..sequences.chain import Chain
 from ..sequences.sample import InputSample
@@ -105,6 +107,16 @@ class MsaPhaseResult:
     def total_hits(self) -> int:
         return sum(len(s.hits) for s in self.searches)
 
+    @property
+    def scan_outcomes(self) -> List[ExecutionOutcome]:
+        """Measured shard schedules of every database scan, in search
+        order (one entry per scan iteration; empty lists for searches
+        run before the parallel engine existed)."""
+        outcomes: List[ExecutionOutcome] = []
+        for search in self.searches:
+            outcomes.extend(getattr(search, "scan_outcomes", []))
+        return outcomes
+
     def paired_msa(self, max_paired_rows: Optional[int] = None):
         """Cross-chain paired MSA over the searched chains.
 
@@ -120,8 +132,15 @@ class MsaPhaseResult:
 class MsaEngine:
     """Runs and caches the MSA phase for input samples."""
 
-    def __init__(self, config: Optional[MsaEngineConfig] = None) -> None:
+    def __init__(
+        self,
+        config: Optional[MsaEngineConfig] = None,
+        plan: Optional[ExecutionPlan] = None,
+    ) -> None:
         self.config = config or MsaEngineConfig()
+        #: How database scans execute (worker count/backend).  Any plan
+        #: produces byte-identical results; only wall-clock changes.
+        self.plan = plan or ExecutionPlan.serial()
         self._cache: Dict[str, MsaPhaseResult] = {}
         self._db_cache: Dict[Tuple[str, str], SequenceDatabase] = {}
 
@@ -181,9 +200,17 @@ class MsaEngine:
                         db,
                         SearchConfig(band=cfg.band, iterations=cfg.iterations),
                         seed=cfg.seed,
+                        plan=self.plan,
+                        scan_shards=cfg.scan_shards,
                     ).search(f"{sample.name}_{chain.chain_id}", chain.sequence)
                 else:
-                    search = NhmmerSearch(db, band=cfg.band, seed=cfg.seed).search(
+                    search = NhmmerSearch(
+                        db,
+                        band=cfg.band,
+                        seed=cfg.seed,
+                        plan=self.plan,
+                        scan_shards=cfg.scan_shards,
+                    ).search(
                         f"{sample.name}_{chain.chain_id}", chain.sequence
                     )
                 searches.append(search)
@@ -225,6 +252,35 @@ class MsaEngine:
             trace=trace.scaled(MSA_WORK_CALIBRATION),
             database_bytes=database_bytes,
         )
+
+    def predicted_peak_memory_bytes(
+        self, sample: InputSample, threads: int
+    ) -> float:
+        """Static peak-memory prediction — no search required.
+
+        Bit-identical to ``self.run(sample).peak_memory_bytes(threads)``
+        because assembled MSA width always equals the query chain
+        length: the memory model is a pure function of the sample's
+        chain lengths and molecule types.  The pipeline uses this to
+        fail OOM-doomed runs *before* paying for the MSA phase.
+        """
+        searched = {
+            chain.sequence: chain.molecule_type
+            for chain in sample.msa_queries()
+        }
+        peak = 0.0
+        for chain in sample.assembly:
+            if not chain.molecule_type.is_polymer:
+                continue
+            mtype = searched.get(chain.sequence)
+            if mtype == MoleculeType.PROTEIN:
+                peak = max(
+                    peak,
+                    protein_peak_memory_bytes(len(chain.sequence), threads),
+                )
+            elif mtype == MoleculeType.RNA:
+                peak = max(peak, rna_peak_memory_bytes(len(chain.sequence)))
+        return peak
 
     def database_footprint_bytes(self, sample: InputSample) -> int:
         """Paper-scale on-disk bytes of every database the sample touches."""

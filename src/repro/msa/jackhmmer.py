@@ -27,10 +27,13 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from ..parallel.executor import ExecutionOutcome, run_sharded
+from ..parallel.plan import ExecutionPlan
+from ..parallel.shard import merge_sharded, shard_bounds
 from ..sequences.alphabets import MoleculeType
 from ..sequences.complexity import profile_sequence
 from ..trace import AccessPattern, OpRecord, WorkloadTrace
-from .database import BufferedDatabaseReader, SequenceDatabase
+from .database import BufferedDatabaseReader, SCAN_SHARDS, SequenceDatabase
 from .dp import calc_band_9, calc_band_10, msv_filter
 from .evalue import GumbelParams, calibrate
 from .profile_hmm import ProfileHMM, encode_sequence
@@ -135,6 +138,70 @@ class SearchResult:
     stats: SearchStats
     trace: WorkloadTrace
     gumbel: GumbelParams
+    #: Measured shard schedule of each iteration's database scan (only
+    #: timings vary run to run; the functional fields above are
+    #: byte-identical for every backend and worker count).
+    scan_outcomes: List[ExecutionOutcome] = dataclasses.field(
+        default_factory=list
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardScanResult:
+    """One shard's cascade outcome: everything the serial loop would
+    have accumulated while scanning the shard's record range."""
+
+    shard_index: int
+    hits: Tuple[Hit, ...]
+    candidates: int
+    msv_pass: int
+    vit_pass: int
+    msv_cells: int
+    vit_cells: int
+    fwd_cells: int
+
+
+def scan_protein_shard(payload) -> ShardScanResult:
+    """Run the MSV -> Viterbi -> Forward cascade over one shard.
+
+    Module-level and driven by one picklable payload tuple so the fork
+    pool can run it; each target's result depends only on (profile,
+    gumbel, target), so shards are pure and order-independent.
+    ``payload`` is ``(shard_index, profile, gumbel, targets, config,
+    db_paper_size)`` with ``targets`` a list of ``(name, seq,
+    encoded)`` triples.
+    """
+    shard_index, profile, gumbel, targets, cfg, db_paper_size = payload
+    hits: List[Hit] = []
+    msv_cells = vit_cells = fwd_cells = 0
+    msv_pass = vit_pass = 0
+    for name, seq, encoded in targets:
+        msv = msv_filter(profile, encoded)
+        msv_cells += msv.cells
+        if gumbel.evalue(msv.score, db_paper_size) > cfg.msv_evalue:
+            continue
+        msv_pass += 1
+        vit = calc_band_9(profile, encoded, band=cfg.band)
+        vit_cells += vit.cells
+        if gumbel.evalue(vit.score, db_paper_size) > cfg.viterbi_evalue:
+            continue
+        vit_pass += 1
+        fwd = calc_band_10(profile, encoded, band=cfg.band)
+        fwd_cells += fwd.cells
+        evalue = gumbel.evalue(fwd.score, db_paper_size)
+        if evalue > cfg.final_evalue:
+            continue
+        hits.append(Hit(name, seq, vit.score, fwd.score, evalue))
+    return ShardScanResult(
+        shard_index=shard_index,
+        hits=tuple(hits),
+        candidates=len(targets),
+        msv_pass=msv_pass,
+        vit_pass=vit_pass,
+        msv_cells=msv_cells,
+        vit_cells=vit_cells,
+        fwd_cells=fwd_cells,
+    )
 
 
 def _align_hit_to_profile(query_len: int, hit_seq: str) -> str:
@@ -157,12 +224,18 @@ class JackhmmerSearch:
         database: SequenceDatabase,
         config: Optional[SearchConfig] = None,
         seed: int = 0,
+        plan: Optional[ExecutionPlan] = None,
+        scan_shards: int = SCAN_SHARDS,
     ) -> None:
         if database.spec.molecule_type != MoleculeType.PROTEIN:
             raise ValueError("jackhmmer searches protein databases")
+        if scan_shards < 1:
+            raise ValueError("scan_shards must be >= 1")
         self.database = database
         self.config = config or SearchConfig()
         self.seed = seed
+        self.plan = plan or ExecutionPlan.serial()
+        self.scan_shards = scan_shards
 
     def search(self, query_name: str, query_sequence: str) -> SearchResult:
         """Run the full iterative search and return hits + trace."""
@@ -183,35 +256,37 @@ class JackhmmerSearch:
             (name, seq, encode_sequence(seq, mtype))
             for name, seq in self.database.records
         ]
+        # Shard boundaries depend only on (record count, scan_shards) —
+        # the same geometry the checkpoint/resume accounting uses —
+        # never on the worker count, so every plan scans identical
+        # shards and the merged result is byte-identical to serial.
+        bounds = shard_bounds(len(encoded_targets), self.scan_shards)
+        scan_outcomes: List[ExecutionOutcome] = []
 
         for iteration in range(cfg.iterations):
             stats.iterations = iteration + 1
-            iter_hits: List[Hit] = []
-            msv_cells = vit_cells = fwd_cells = 0
-            msv_pass = vit_pass = 0
 
-            for name, seq, encoded in encoded_targets:
-                stats.msv.candidates += 1
-                msv = msv_filter(profile, encoded)
-                msv_cells += msv.cells
-                if gumbel.evalue(msv.score, db_paper_size) > cfg.msv_evalue:
-                    continue
-                msv_pass += 1
-                stats.viterbi.candidates += 1
-                vit = calc_band_9(profile, encoded, band=cfg.band)
-                vit_cells += vit.cells
-                if gumbel.evalue(vit.score, db_paper_size) > cfg.viterbi_evalue:
-                    continue
-                vit_pass += 1
-                stats.forward.candidates += 1
-                fwd = calc_band_10(profile, encoded, band=cfg.band)
-                fwd_cells += fwd.cells
-                evalue = gumbel.evalue(fwd.score, db_paper_size)
-                if evalue > cfg.final_evalue:
-                    continue
-                stats.forward.survivors += 1
-                iter_hits.append(Hit(name, seq, vit.score, fwd.score, evalue))
+            payloads = [
+                (i, profile, gumbel, encoded_targets[lo:hi], cfg,
+                 db_paper_size)
+                for i, (lo, hi) in enumerate(bounds)
+            ]
+            outcome = run_sharded(scan_protein_shard, payloads, self.plan)
+            scan_outcomes.append(outcome)
+            shard_results: List[ShardScanResult] = outcome.results
+            iter_hits: List[Hit] = merge_sharded(
+                (r.shard_index, r.hits) for r in shard_results
+            )
+            msv_cells = sum(r.msv_cells for r in shard_results)
+            vit_cells = sum(r.vit_cells for r in shard_results)
+            fwd_cells = sum(r.fwd_cells for r in shard_results)
+            msv_pass = sum(r.msv_pass for r in shard_results)
+            vit_pass = sum(r.vit_pass for r in shard_results)
 
+            stats.msv.candidates += sum(r.candidates for r in shard_results)
+            stats.viterbi.candidates += msv_pass
+            stats.forward.candidates += vit_pass
+            stats.forward.survivors += len(iter_hits)
             stats.msv.survivors += msv_pass
             stats.msv.cells += msv_cells
             stats.viterbi.survivors += vit_pass
@@ -245,6 +320,7 @@ class JackhmmerSearch:
             stats=stats,
             trace=trace,
             gumbel=gumbel,
+            scan_outcomes=scan_outcomes,
         )
 
     def _emit_iteration_trace(

@@ -24,9 +24,12 @@ import dataclasses
 import math
 from typing import List, Optional, Sequence, Tuple
 
+from ..parallel.executor import ExecutionOutcome, run_sharded
+from ..parallel.plan import ExecutionPlan
+from ..parallel.shard import merge_sharded, shard_bounds
 from ..sequences.alphabets import MoleculeType
 from ..trace import AccessPattern, OpRecord, WorkloadTrace
-from .database import BufferedDatabaseReader, SequenceDatabase
+from .database import BufferedDatabaseReader, SCAN_SHARDS, SequenceDatabase
 from .dp import calc_band_9, calc_band_10, msv_filter
 from .evalue import calibrate
 from .jackhmmer import (
@@ -116,6 +119,63 @@ class NhmmerResult:
     stats: SearchStats
     trace: WorkloadTrace
     peak_memory_bytes: float
+    #: Measured shard schedule of the scan (timings only; the
+    #: functional fields are identical for every plan).
+    scan_outcomes: List[ExecutionOutcome] = dataclasses.field(
+        default_factory=list
+    )
+
+
+def _windows(sequence: str) -> List[str]:
+    """Split a target into overlapping scan windows (both handled as
+    forward strand; our synthetic RNA has no strand asymmetry)."""
+    if len(sequence) <= SCAN_WINDOW:
+        return [sequence]
+    step = SCAN_WINDOW // 2
+    return [
+        sequence[start:start + SCAN_WINDOW]
+        for start in range(0, len(sequence) - step, step)
+    ]
+
+
+def scan_rna_shard(payload):
+    """Windowed MSV -> Viterbi -> Forward cascade over one RNA shard.
+
+    Module-level and picklable (fork-pool entry point); ``payload`` is
+    ``(shard_index, profile, gumbel, records, mtype, band, msv_evalue,
+    final_evalue, db_size)``.  Returns ``(shard_index, hits,
+    candidates, msv_pass, msv_cells, vit_cells, fwd_cells)``.
+    """
+    (shard_index, profile, gumbel, records, mtype, band,
+     msv_evalue, final_evalue, db_size) = payload
+    hits: List[Hit] = []
+    msv_cells = vit_cells = fwd_cells = 0
+    msv_pass = 0
+    for name, seq in records:
+        best_window_score = None
+        best_window = None
+        for window in _windows(seq):
+            encoded = encode_sequence(window, mtype)
+            msv = msv_filter(profile, encoded)
+            msv_cells += msv.cells
+            if best_window_score is None or msv.score > best_window_score:
+                best_window_score, best_window = msv.score, window
+        if best_window is None:
+            continue
+        if gumbel.evalue(best_window_score, db_size) > msv_evalue:
+            continue
+        msv_pass += 1
+        encoded = encode_sequence(best_window, mtype)
+        vit = calc_band_9(profile, encoded, band=band)
+        vit_cells += vit.cells
+        fwd = calc_band_10(profile, encoded, band=band)
+        fwd_cells += fwd.cells
+        evalue = gumbel.evalue(fwd.score, db_size)
+        if evalue > final_evalue:
+            continue
+        hits.append(Hit(name, seq, vit.score, fwd.score, evalue))
+    return (shard_index, tuple(hits), len(records), msv_pass,
+            msv_cells, vit_cells, fwd_cells)
 
 
 class NhmmerSearch:
@@ -128,25 +188,23 @@ class NhmmerSearch:
         msv_evalue: float = 500.0,
         final_evalue: float = 1e-2,
         seed: int = 0,
+        plan: Optional[ExecutionPlan] = None,
+        scan_shards: int = SCAN_SHARDS,
     ) -> None:
         if database.spec.molecule_type == MoleculeType.PROTEIN:
             raise ValueError("nhmmer searches nucleotide databases")
+        if scan_shards < 1:
+            raise ValueError("scan_shards must be >= 1")
         self.database = database
         self.band = band
         self.msv_evalue = msv_evalue
         self.final_evalue = final_evalue
         self.seed = seed
+        self.plan = plan or ExecutionPlan.serial()
+        self.scan_shards = scan_shards
 
     def _windows(self, sequence: str) -> List[str]:
-        """Split a target into overlapping scan windows (both handled
-        as forward strand; our synthetic RNA has no strand asymmetry)."""
-        if len(sequence) <= SCAN_WINDOW:
-            return [sequence]
-        step = SCAN_WINDOW // 2
-        return [
-            sequence[start:start + SCAN_WINDOW]
-            for start in range(0, len(sequence) - step, step)
-        ]
+        return _windows(sequence)
 
     def search(self, query_name: str, query_sequence: str) -> NhmmerResult:
         """Run the windowed cascade for one RNA query."""
@@ -157,37 +215,27 @@ class NhmmerSearch:
         scale = self.database.scale_factor
 
         stats = SearchStats(scale_factor=scale, inflation_factor=1.0)
-        hits: List[Hit] = []
-        msv_cells = vit_cells = fwd_cells = 0
-
-        for name, seq in self.database.records:
-            stats.msv.candidates += 1
-            best_window_score = None
-            best_window = None
-            for window in self._windows(seq):
-                encoded = encode_sequence(window, mtype)
-                msv = msv_filter(profile, encoded)
-                msv_cells += msv.cells
-                if best_window_score is None or msv.score > best_window_score:
-                    best_window_score, best_window = msv.score, window
-            if best_window is None:
-                continue
-            if gumbel.evalue(best_window_score, db_size) > self.msv_evalue:
-                continue
-            stats.msv.survivors += 1
-            stats.viterbi.candidates += 1
-            encoded = encode_sequence(best_window, mtype)
-            vit = calc_band_9(profile, encoded, band=self.band)
-            vit_cells += vit.cells
-            stats.viterbi.survivors += 1
-            stats.forward.candidates += 1
-            fwd = calc_band_10(profile, encoded, band=self.band)
-            fwd_cells += fwd.cells
-            evalue = gumbel.evalue(fwd.score, db_size)
-            if evalue > self.final_evalue:
-                continue
-            stats.forward.survivors += 1
-            hits.append(Hit(name, seq, vit.score, fwd.score, evalue))
+        records = list(self.database.records)
+        bounds = shard_bounds(len(records), self.scan_shards)
+        payloads = [
+            (i, profile, gumbel, records[lo:hi], mtype, self.band,
+             self.msv_evalue, self.final_evalue, db_size)
+            for i, (lo, hi) in enumerate(bounds)
+        ]
+        outcome = run_sharded(scan_rna_shard, payloads, self.plan)
+        hits: List[Hit] = merge_sharded(
+            (r[0], r[1]) for r in outcome.results
+        )
+        msv_cells = sum(r[4] for r in outcome.results)
+        vit_cells = sum(r[5] for r in outcome.results)
+        fwd_cells = sum(r[6] for r in outcome.results)
+        msv_pass = sum(r[3] for r in outcome.results)
+        stats.msv.candidates = sum(r[2] for r in outcome.results)
+        stats.msv.survivors = msv_pass
+        stats.viterbi.candidates = msv_pass
+        stats.viterbi.survivors = msv_pass
+        stats.forward.candidates = msv_pass
+        stats.forward.survivors = len(hits)
 
         stats.msv.cells = msv_cells
         stats.viterbi.cells = vit_cells
@@ -204,6 +252,7 @@ class NhmmerSearch:
             stats=stats,
             trace=trace,
             peak_memory_bytes=rna_peak_memory_bytes(len(query_sequence)),
+            scan_outcomes=[outcome],
         )
 
     def _emit_trace(

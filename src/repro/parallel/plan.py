@@ -1,0 +1,82 @@
+"""The execution plan: one knob object for every real hot path.
+
+The simulators in :mod:`repro.hardware` model how the *paper's*
+platforms scale; this package makes the repo's own numpy hot paths
+actually use more than one core so the two can be compared.  A single
+frozen :class:`ExecutionPlan` travels from the CLI (``--workers``)
+through :class:`repro.core.pipeline.Af3Pipeline` into the MSA scan and
+the Pairformer layers:
+
+* ``workers`` — how many OS workers (processes for the database scan,
+  threads for the model ops) may run concurrently;
+* ``chunk`` — how many leading-axis rows/heads one model-op chunk
+  covers (``None`` = split evenly across workers);
+* ``backend`` — ``"process"``/``"thread"``/``"serial"``, or ``"auto"``
+  to let each hot path pick its natural backend.
+
+Determinism contract: a plan never changes *what* is computed, only
+*how it is scheduled*.  The sharded MSA scan is byte-identical to the
+serial scan for any worker count (shard boundaries depend only on
+``scan_shards``, never on ``workers``), and the chunked model ops only
+split batched numpy operations along leading batch axes, which is
+bit-exact (see docs/parallelism.md for the audit).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple
+
+#: Valid values of :attr:`ExecutionPlan.backend`.
+BACKENDS = ("auto", "serial", "thread", "process")
+
+
+@dataclasses.dataclass(frozen=True)
+class ExecutionPlan:
+    """How the real hot paths may spread work across cores."""
+
+    workers: int = 1
+    chunk: Optional[int] = None
+    backend: str = "auto"
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.chunk is not None and self.chunk < 1:
+            raise ValueError("chunk must be >= 1 (or None)")
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"backend must be one of {BACKENDS}, got {self.backend!r}"
+            )
+
+    @classmethod
+    def serial(cls) -> "ExecutionPlan":
+        """The do-nothing plan: one worker, no chunking."""
+        return cls(workers=1, backend="serial")
+
+    @property
+    def is_serial(self) -> bool:
+        return self.workers == 1 and self.chunk is None
+
+    def resolve_backend(self, default: str) -> str:
+        """Concrete backend for one hot path (``default`` is the path's
+        natural choice: ``"process"`` for the scan, ``"thread"`` for
+        the in-process model ops)."""
+        if self.workers == 1:
+            return "serial"
+        return default if self.backend == "auto" else self.backend
+
+    def chunk_size(self, n: int) -> int:
+        """Rows per chunk when splitting a length-``n`` leading axis."""
+        if self.chunk is not None:
+            return min(self.chunk, max(1, n))
+        if self.workers == 1:
+            return max(1, n)
+        return max(1, -(-n // self.workers))  # ceil(n / workers)
+
+    def chunk_bounds(self, n: int) -> List[Tuple[int, int]]:
+        """Contiguous ``[start, end)`` chunks covering ``range(n)``."""
+        if n <= 0:
+            return []
+        size = self.chunk_size(n)
+        return [(start, min(start + size, n)) for start in range(0, n, size)]

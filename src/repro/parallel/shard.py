@@ -1,0 +1,69 @@
+"""Shard geometry: the single source of truth for scan boundaries.
+
+The MSA database scan is checkpointed and parallelised over the same
+``MsaEngineConfig.scan_shards`` contiguous shards.  Everything that
+slices, resumes, or merges a scan goes through :func:`shard_bounds` so
+that the checkpoint accounting in :meth:`repro.msa.engine.MsaEngine.
+resume_stream_bytes` and the parallel workers can never disagree about
+where a shard starts — the property the resume/parallel cross-check
+test pins.
+
+The merge helpers implement the order-invariant reducer: per-shard
+results may arrive in any completion order, but merging sorts by shard
+index first, so the merged hit list equals the serial scan's list
+byte-for-byte regardless of scheduling.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+def shard_bounds(num_records: int, num_shards: int) -> List[Tuple[int, int]]:
+    """Contiguous ``[start, end)`` record ranges of each scan shard.
+
+    Shard ``i`` covers ``[i * n // s, (i + 1) * n // s)`` — the same
+    integer arithmetic the checkpoint byte accounting uses, so after
+    ``c`` completed shards exactly ``n - c * n // s`` records remain.
+    Empty shards are legal (more shards than records).
+    """
+    if num_shards < 1:
+        raise ValueError("num_shards must be >= 1")
+    if num_records < 0:
+        raise ValueError("num_records must be >= 0")
+    return [
+        (i * num_records // num_shards, (i + 1) * num_records // num_shards)
+        for i in range(num_shards)
+    ]
+
+
+def records_remaining(num_records: int, completed_shards: int,
+                      num_shards: int) -> int:
+    """Records still unscanned after ``completed_shards`` finished.
+
+    Mirrors ``MsaEngine.resume_stream_bytes``'s integer formula
+    (``total - total * completed // shards``) applied to record counts.
+    """
+    if not 0 <= completed_shards <= num_shards:
+        raise ValueError("completed_shards out of range")
+    return num_records - num_records * completed_shards // num_shards
+
+
+def merge_sharded(results: Iterable[Tuple[int, Sequence[T]]]) -> List[T]:
+    """Order-invariant reduction of per-shard item lists.
+
+    ``results`` holds ``(shard_index, items)`` pairs in *any* order
+    (completion order, reversed, shuffled ...); the merge concatenates
+    them in shard-index order, reproducing the exact sequence a serial
+    scan would have produced.
+    """
+    ordered = sorted(results, key=lambda pair: pair[0])
+    indices = [index for index, _ in ordered]
+    if len(set(indices)) != len(indices):
+        raise ValueError(f"duplicate shard indices in merge: {indices}")
+    merged: List[T] = []
+    for _, items in ordered:
+        merged.extend(items)
+    return merged

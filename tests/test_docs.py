@@ -24,6 +24,7 @@ DOCS = REPO / "docs"
 EXECUTABLE_DOCS = [
     DOCS / "observability.md",
     DOCS / "metrics_reference.md",
+    DOCS / "parallelism.md",
 ]
 
 _FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)
@@ -85,3 +86,4 @@ class TestIntraRepoLinks:
         readme = (REPO / "README.md").read_text()
         assert "docs/observability.md" in readme
         assert "docs/metrics_reference.md" in readme
+        assert "docs/parallelism.md" in readme
