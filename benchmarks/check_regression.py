@@ -4,8 +4,14 @@
 Usage (CI runs exactly this)::
 
     python -m pytest benchmarks/test_bench_regression.py \
-                     benchmarks/test_bench_scan.py -q
+                     benchmarks/test_bench_scan.py \
+                     benchmarks/test_bench_kernels_batched.py -q
     python benchmarks/check_regression.py
+
+Covered artifacts: ``BENCH_kernels`` (scalar DP + model layer
+microbenchmarks), ``BENCH_scan`` (sharded scan vs workers), and
+``BENCH_kernels_batched`` (batched-vs-scalar kernel cascade; its
+test file additionally asserts the >= 3x batched speedup outright).
 
 Compares the freshly measured medians in ``benchmarks/out/`` against
 the committed baselines in ``benchmarks/baselines/``.  Raw seconds are

@@ -1,0 +1,140 @@
+"""Batched-vs-scalar kernel benchmarks: timing, identity, speedup.
+
+Acceptance harness for the batched kernel cascade
+(:mod:`repro.msa.kernels`):
+
+* records the serial shard scan's median under both kernel modes plus
+  per-kernel batched microbenchmarks into
+  ``benchmarks/out/BENCH_kernels_batched.json`` for the regression
+  gate;
+* re-asserts bit-identity between every timed configuration;
+* requires the batched scan to beat the scalar scan by >= 3x median.
+  Unlike the worker-scaling bar this holds on ANY host, 1-core CI
+  included — the speedup is algorithmic (one interpreter sweep per
+  profile row for the whole batch), not parallelism.
+
+The fixture is homolog-rich so most targets survive the MSV gate into
+the banded Viterbi/Forward kernels — the regime the paper's Table IV
+describes (``calc_band_9``/``calc_band_10`` dominate MSA CPU cycles)
+and where batching pays off most.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.msa.database import PROTEIN_SEARCH_DBS, build_database
+from repro.msa.jackhmmer import JackhmmerSearch, SearchConfig
+from repro.msa.kernels import (
+    batch_targets,
+    calc_band_9_batch,
+    calc_band_10_batch,
+    emission_tensor,
+    msv_filter_batch,
+)
+from repro.msa.profile_hmm import ProfileHMM, encode_sequence
+from repro.parallel import KERNEL_MODES, ExecutionPlan
+from repro.sequences.generator import mutate_sequence, random_sequence
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+REPEATS = 1 if QUICK else 3
+#: Homolog-rich: most of the database reaches the banded kernels.
+NUM_BACKGROUND = 30 if QUICK else 60
+HOMOLOGS = 30 if QUICK else 60
+
+
+@pytest.fixture(scope="module")
+def kernel_case():
+    query = random_sequence(242, seed=1)  # 2PV7 chain length
+    database = build_database(
+        PROTEIN_SEARCH_DBS[0],
+        [query],
+        num_background=NUM_BACKGROUND,
+        homologs_per_query=HOMOLOGS,
+        low_complexity_fraction=0.08,
+        seed=1,
+    )
+    return query, database
+
+
+def _search(query, database, kernel):
+    return JackhmmerSearch(
+        database,
+        SearchConfig(iterations=1),
+        seed=1,
+        plan=ExecutionPlan(workers=1, backend="serial", kernel=kernel),
+        scan_shards=2,
+    ).search("bench_query", query)
+
+
+def test_record_kernel_scan_timings(bench_recorder, kernel_case):
+    query, database = kernel_case
+    results = {}
+    for kernel in KERNEL_MODES:
+        box = {}
+
+        def run(kernel=kernel, box=box):
+            box["r"] = _search(query, database, kernel)
+
+        bench_recorder.record(
+            "kernels_batched", f"scan_{kernel}", run, repeats=REPEATS
+        )
+        results[kernel] = box["r"]
+
+    scalar, batched = results["scalar"], results["batched"]
+    assert batched.hits == scalar.hits
+    assert batched.stats == scalar.stats
+
+
+def test_record_batched_kernel_micro(bench_recorder, kernel_case):
+    """Per-kernel medians on one realistic 64-target bucket."""
+    query, _ = kernel_case
+    from repro.sequences.alphabets import MoleculeType
+
+    mtype = MoleculeType.PROTEIN
+    profile = ProfileHMM.from_query(query, mtype)
+    encoded = [
+        encode_sequence(mutate_sequence(query, mtype, 0.7, seed=s), mtype)
+        for s in range(64)
+    ]
+    (batch,) = batch_targets(encoded)
+    emissions = emission_tensor(profile, batch)
+    bench_recorder.record(
+        "kernels_batched", "emission_tensor",
+        lambda: emission_tensor(profile, batch), repeats=REPEATS,
+    )
+    bench_recorder.record(
+        "kernels_batched", "msv_filter_batch",
+        lambda: msv_filter_batch(profile, batch, emissions=emissions),
+        repeats=REPEATS,
+    )
+    bench_recorder.record(
+        "kernels_batched", "calc_band_9_batch",
+        lambda: calc_band_9_batch(
+            profile, batch, band=64, emissions=emissions
+        ),
+        repeats=REPEATS,
+    )
+    bench_recorder.record(
+        "kernels_batched", "calc_band_10_batch",
+        lambda: calc_band_10_batch(
+            profile, batch, band=64, emissions=emissions
+        ),
+        repeats=REPEATS,
+    )
+
+
+def test_batched_scan_speedup_over_scalar(bench_recorder, kernel_case):
+    entries = bench_recorder.groups.get("kernels_batched", {})
+    if "scan_scalar" not in entries or "scan_batched" not in entries:
+        test_record_kernel_scan_timings(bench_recorder, kernel_case)
+        entries = bench_recorder.groups["kernels_batched"]
+    scalar = entries["scan_scalar"].median_seconds
+    batched = entries["scan_batched"].median_seconds
+    speedup = scalar / batched
+    assert speedup >= 3.0, (
+        f"batched shard scan only {speedup:.2f}x over scalar "
+        f"({scalar:.3f}s -> {batched:.3f}s)"
+    )

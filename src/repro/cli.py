@@ -24,7 +24,7 @@ from .core.suite import AfSysBench
 from .hardware.memory import OutOfMemoryError
 from .hardware.platform import PLATFORMS, get_platform
 from .msa.engine import MsaEngine, MsaEngineConfig
-from .parallel import ExecutionPlan
+from .parallel import ExecutionPlan, KERNEL_MODES
 from .sequences.builtin import builtin_samples
 from .sequences.input_json import load_json
 from .sequences.sample import InputSample, classify_complexity
@@ -70,7 +70,10 @@ def _resolve_sample(args: argparse.Namespace) -> InputSample:
 def cmd_run(args: argparse.Namespace) -> int:
     sample = _resolve_sample(args)
     platform = get_platform(args.platform)
-    plan = ExecutionPlan(workers=getattr(args, "workers", 1))
+    plan = ExecutionPlan(
+        workers=getattr(args, "workers", 1),
+        kernel=getattr(args, "kernel", "batched"),
+    )
     pipeline = Af3Pipeline(
         platform, msa_engine=_small_engine(args.seed, plan), plan=plan
     )
@@ -444,7 +447,8 @@ def cmd_observe_export_scan_trace(args: argparse.Namespace) -> int:
             homologs_per_query=6,
             seed=args.seed,
         ),
-        plan=ExecutionPlan(workers=args.workers, backend=args.backend),
+        plan=ExecutionPlan(workers=args.workers, backend=args.backend,
+                           kernel=args.kernel),
     )
     result = engine.run(sample)
     outcomes, labels = [], []
@@ -504,6 +508,12 @@ def build_parser() -> argparse.ArgumentParser:
                      help="real worker processes for the functional "
                           "MSA database scans (results are "
                           "byte-identical for any count)")
+    run.add_argument("--kernel", default="batched",
+                     choices=list(KERNEL_MODES),
+                     help="MSA scan kernel implementation; 'batched' "
+                          "runs the length-bucketed tensor cascade, "
+                          "'scalar' the per-target loop (results are "
+                          "bit-identical either way)")
     run.add_argument("--format", choices=["text", "json"], default="text")
     run.set_defaults(func=cmd_run)
 
@@ -689,6 +699,8 @@ def build_parser() -> argparse.ArgumentParser:
     export_scan.add_argument("--workers", type=int, default=4)
     export_scan.add_argument("--backend", default="process",
                              choices=["process", "thread", "serial"])
+    export_scan.add_argument("--kernel", default="batched",
+                             choices=list(KERNEL_MODES))
     export_scan.add_argument("--num-background", type=int, default=40,
                              help="synthetic database background size")
     export_scan.add_argument("--out", default="-",

@@ -32,6 +32,7 @@ space.
 from __future__ import annotations
 
 import dataclasses
+from typing import Optional
 
 import numpy as np
 
@@ -73,13 +74,25 @@ def effective_band(profile_len: int, seq_len: int, band: int) -> int:
     return int(min(band, max(profile_len, seq_len)))
 
 
-def msv_filter(profile: ProfileHMM, encoded_seq: np.ndarray) -> KernelResult:
+def msv_filter(
+    profile: ProfileHMM,
+    encoded_seq: np.ndarray,
+    emissions: Optional[np.ndarray] = None,
+) -> KernelResult:
     """Ungapped local alignment score (MSV analogue).
 
     Runs Kadane's maximum-subarray scan along every alignment diagonal
     of the emission matrix — the best ungapped segment score in bits.
+    ``emissions`` may pass a precomputed ``profile.emission_row`` matrix
+    so callers running the full cascade pay for it only once.
     """
-    emissions = profile.emission_row(encoded_seq)
+    seq = np.asarray(encoded_seq)
+    if len(seq) == 0:
+        # No residues, no diagonals: the empty local alignment scores 0
+        # bits and no DP cells are computed (mirrors _banded_dp's guard).
+        return KernelResult(score=0.0, cells=0)
+    if emissions is None:
+        emissions = profile.emission_row(seq)
     length, seq_len = emissions.shape
     best = 0.0
     running = np.zeros(seq_len)
@@ -95,17 +108,25 @@ def msv_filter(profile: ProfileHMM, encoded_seq: np.ndarray) -> KernelResult:
 
 
 def calc_band_9(
-    profile: ProfileHMM, encoded_seq: np.ndarray, band: int = 64
+    profile: ProfileHMM,
+    encoded_seq: np.ndarray,
+    band: int = 64,
+    emissions: Optional[np.ndarray] = None,
 ) -> KernelResult:
     """Banded local Viterbi bit score (the paper's ``calc_band_9``)."""
-    return _banded_dp(profile, encoded_seq, band, forward=False)
+    return _banded_dp(profile, encoded_seq, band, forward=False,
+                      emissions=emissions)
 
 
 def calc_band_10(
-    profile: ProfileHMM, encoded_seq: np.ndarray, band: int = 64
+    profile: ProfileHMM,
+    encoded_seq: np.ndarray,
+    band: int = 64,
+    emissions: Optional[np.ndarray] = None,
 ) -> KernelResult:
     """Banded local Forward bit score (the paper's ``calc_band_10``)."""
-    return _banded_dp(profile, encoded_seq, band, forward=True)
+    return _banded_dp(profile, encoded_seq, band, forward=True,
+                      emissions=emissions)
 
 
 def _log2addexp(a: np.ndarray, b: np.ndarray) -> np.ndarray:
@@ -117,14 +138,19 @@ def _log2addexp(a: np.ndarray, b: np.ndarray) -> np.ndarray:
 
 
 def _banded_dp(
-    profile: ProfileHMM, encoded_seq: np.ndarray, band: int, forward: bool
+    profile: ProfileHMM,
+    encoded_seq: np.ndarray,
+    band: int,
+    forward: bool,
+    emissions: Optional[np.ndarray] = None,
 ) -> KernelResult:
     seq = np.asarray(encoded_seq)
     length, seq_len = profile.length, len(seq)
     if seq_len == 0:
         return KernelResult(score=0.0, cells=0, band_width=band)
     band = effective_band(length, seq_len, band)
-    emissions = profile.emission_row(seq)
+    if emissions is None:
+        emissions = profile.emission_row(seq)
     mask = _band_mask(length, seq_len, band)
     t = profile.transitions
 

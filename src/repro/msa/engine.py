@@ -36,6 +36,7 @@ from .database import (
 )
 from .features import AssemblyFeatures, build_assembly_features
 from .jackhmmer import JackhmmerSearch, SearchConfig, SearchResult
+from .profile_hmm import encode_sequence
 from .nhmmer import (
     NhmmerResult,
     NhmmerSearch,
@@ -143,6 +144,10 @@ class MsaEngine:
         self.plan = plan or ExecutionPlan.serial()
         self._cache: Dict[str, MsaPhaseResult] = {}
         self._db_cache: Dict[Tuple[str, str], SequenceDatabase] = {}
+        #: (db key) -> pre-encoded (name, seq, encoded) target triples.
+        #: Encoding is query-independent, so every protein chain
+        #: searched against the same database reuses one encode pass.
+        self._encoded_cache: Dict[Tuple[str, str], List[tuple]] = {}
 
     def _database_for(
         self, spec: DatabaseSpec, sample: InputSample, queries: List[str]
@@ -162,6 +167,25 @@ class MsaEngine:
                 seed=cfg.seed + stable,
             )
         return self._db_cache[key]
+
+    def _encoded_targets_for(
+        self, spec: DatabaseSpec, sample: InputSample, db: SequenceDatabase
+    ) -> List[tuple]:
+        """Cached ``(name, seq, encoded)`` triples for a database.
+
+        Lives next to ``_db_cache`` under the same key: per-residue
+        integer encoding is query-independent, so all chains searching
+        the same database share one encode pass instead of re-encoding
+        every record per search.
+        """
+        key = (spec.name, sample.name)
+        if key not in self._encoded_cache:
+            mtype = db.spec.molecule_type
+            self._encoded_cache[key] = [
+                (name, seq, encode_sequence(seq, mtype))
+                for name, seq in db.records
+            ]
+        return self._encoded_cache[key]
 
     def run(self, sample: InputSample) -> MsaPhaseResult:
         """Run (or fetch the cached) MSA phase for a sample."""
@@ -202,6 +226,9 @@ class MsaEngine:
                         seed=cfg.seed,
                         plan=self.plan,
                         scan_shards=cfg.scan_shards,
+                        encoded_targets=self._encoded_targets_for(
+                            spec, sample, db
+                        ),
                     ).search(f"{sample.name}_{chain.chain_id}", chain.sequence)
                 else:
                     search = NhmmerSearch(

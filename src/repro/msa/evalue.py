@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
-from typing import Callable, Optional
+from typing import Callable, List, Optional
 
 import numpy as np
 
@@ -71,6 +71,10 @@ class GumbelParams:
 
 ScoreFn = Callable[[ProfileHMM, np.ndarray], KernelResult]
 
+#: Scores a whole calibration panel at once; must return the same
+#: scores ``score_fn`` would, bit for bit (the batched kernels do).
+PanelScoreFn = Callable[[ProfileHMM, List[np.ndarray]], np.ndarray]
+
 
 def calibrate(
     profile: ProfileHMM,
@@ -78,19 +82,38 @@ def calibrate(
     samples: int = DEFAULT_CALIBRATION_SAMPLES,
     seed: int = 0,
     score_fn: ScoreFn = calc_band_9,
+    panel_score_fn: Optional[PanelScoreFn] = None,
 ) -> GumbelParams:
     """Fit Gumbel parameters by scoring random background sequences.
 
     Method of moments: ``lambda = pi / (std * sqrt(6))`` and
     ``mu = mean - gamma / lambda``.
+
+    ``panel_score_fn`` scores the whole panel in one call (the batched
+    Viterbi kernel: every panel sequence has the same length, so the
+    panel is a single full bucket).  Because the batched kernels are
+    bit-identical to the scalar ones, the fitted parameters are too.
     """
     if samples < 4:
         raise ValueError("need at least 4 calibration samples")
     length = target_length or max(32, profile.length)
-    scores = np.empty(samples)
-    for i in range(samples):
-        seq = random_sequence(length, profile.molecule_type, seed=seed + 31 * (i + 1))
-        scores[i] = score_fn(profile, encode_sequence(seq, profile.molecule_type)).score
+    encoded = [
+        encode_sequence(
+            random_sequence(
+                length, profile.molecule_type, seed=seed + 31 * (i + 1)
+            ),
+            profile.molecule_type,
+        )
+        for i in range(samples)
+    ]
+    if panel_score_fn is not None:
+        scores = np.asarray(panel_score_fn(profile, encoded), dtype=float)
+        if scores.shape != (samples,):
+            raise ValueError("panel_score_fn must return one score per sample")
+    else:
+        scores = np.empty(samples)
+        for i, enc in enumerate(encoded):
+            scores[i] = score_fn(profile, enc).score
     std = float(scores.std(ddof=1))
     if std < 1e-9:
         std = 1e-9

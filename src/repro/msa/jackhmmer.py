@@ -36,6 +36,7 @@ from ..trace import AccessPattern, OpRecord, WorkloadTrace
 from .database import BufferedDatabaseReader, SCAN_SHARDS, SequenceDatabase
 from .dp import calc_band_9, calc_band_10, msv_filter
 from .evalue import GumbelParams, calibrate
+from .kernels import run_cascade, viterbi_panel_scores
 from .profile_hmm import ProfileHMM, encode_sequence
 
 # Instruction costs per DP cell.  MSV is a 16-lane striped SIMD scan
@@ -168,25 +169,56 @@ def scan_protein_shard(payload) -> ShardScanResult:
     pool can run it; each target's result depends only on (profile,
     gumbel, target), so shards are pure and order-independent.
     ``payload`` is ``(shard_index, profile, gumbel, targets, config,
-    db_paper_size)`` with ``targets`` a list of ``(name, seq,
-    encoded)`` triples.
+    db_paper_size, kernel)`` with ``targets`` a list of ``(name, seq,
+    encoded)`` triples and ``kernel`` a :data:`KERNEL_MODES` value
+    selecting the scalar per-target loop or the batched tensor cascade
+    (bit-identical results either way; see docs/kernels.md).
     """
-    shard_index, profile, gumbel, targets, cfg, db_paper_size = payload
+    (shard_index, profile, gumbel, targets, cfg, db_paper_size,
+     kernel) = payload
+    if kernel == "batched":
+        outcome = run_cascade(
+            profile, gumbel, [encoded for _, _, encoded in targets],
+            band=cfg.band,
+            msv_evalue=cfg.msv_evalue,
+            viterbi_evalue=cfg.viterbi_evalue,
+            final_evalue=cfg.final_evalue,
+            db_size=db_paper_size,
+        )
+        return ShardScanResult(
+            shard_index=shard_index,
+            hits=tuple(
+                Hit(targets[index][0], targets[index][1],
+                    vit_score, fwd_score, evalue)
+                for index, vit_score, fwd_score, evalue
+                in outcome.accepted
+            ),
+            candidates=outcome.candidates,
+            msv_pass=outcome.msv_pass,
+            vit_pass=outcome.vit_pass,
+            msv_cells=outcome.msv_cells,
+            vit_cells=outcome.vit_cells,
+            fwd_cells=outcome.fwd_cells,
+        )
     hits: List[Hit] = []
     msv_cells = vit_cells = fwd_cells = 0
     msv_pass = vit_pass = 0
     for name, seq, encoded in targets:
-        msv = msv_filter(profile, encoded)
+        # One emission matrix feeds all three kernels for this target.
+        emissions = profile.emission_row(encoded)
+        msv = msv_filter(profile, encoded, emissions=emissions)
         msv_cells += msv.cells
         if gumbel.evalue(msv.score, db_paper_size) > cfg.msv_evalue:
             continue
         msv_pass += 1
-        vit = calc_band_9(profile, encoded, band=cfg.band)
+        vit = calc_band_9(profile, encoded, band=cfg.band,
+                          emissions=emissions)
         vit_cells += vit.cells
         if gumbel.evalue(vit.score, db_paper_size) > cfg.viterbi_evalue:
             continue
         vit_pass += 1
-        fwd = calc_band_10(profile, encoded, band=cfg.band)
+        fwd = calc_band_10(profile, encoded, band=cfg.band,
+                           emissions=emissions)
         fwd_cells += fwd.cells
         evalue = gumbel.evalue(fwd.score, db_paper_size)
         if evalue > cfg.final_evalue:
@@ -226,16 +258,52 @@ class JackhmmerSearch:
         seed: int = 0,
         plan: Optional[ExecutionPlan] = None,
         scan_shards: int = SCAN_SHARDS,
+        encoded_targets: Optional[List[Tuple[str, str, np.ndarray]]] = None,
     ) -> None:
         if database.spec.molecule_type != MoleculeType.PROTEIN:
             raise ValueError("jackhmmer searches protein databases")
         if scan_shards < 1:
             raise ValueError("scan_shards must be >= 1")
+        if encoded_targets is not None and len(encoded_targets) != len(
+            database.records
+        ):
+            raise ValueError(
+                "encoded_targets must cover every database record"
+            )
         self.database = database
         self.config = config or SearchConfig()
         self.seed = seed
         self.plan = plan or ExecutionPlan.serial()
         self.scan_shards = scan_shards
+        self._encoded_targets = encoded_targets
+
+    def encoded_targets(self) -> List[Tuple[str, str, np.ndarray]]:
+        """``(name, seq, encoded)`` triples for every database record.
+
+        Encoding is query-independent, so callers running many searches
+        against one database (:class:`repro.msa.engine.MsaEngine`) pass
+        the list in once via ``encoded_targets=`` instead of paying the
+        per-residue encode loop on every search.
+        """
+        if self._encoded_targets is None:
+            mtype = self.database.spec.molecule_type
+            self._encoded_targets = [
+                (name, seq, encode_sequence(seq, mtype))
+                for name, seq in self.database.records
+            ]
+        return self._encoded_targets
+
+    def _calibrate(self, profile: ProfileHMM, seed: int) -> GumbelParams:
+        """Gumbel calibration, batched when the plan's kernel is.
+
+        The calibration panel is one full bucket for the batched
+        Viterbi kernel; its scores — and therefore the fitted
+        parameters — are bit-identical to the scalar path's.
+        """
+        panel = (
+            viterbi_panel_scores if self.plan.kernel == "batched" else None
+        )
+        return calibrate(profile, seed=seed, panel_score_fn=panel)
 
     def search(self, query_name: str, query_sequence: str) -> SearchResult:
         """Run the full iterative search and return hits + trace."""
@@ -250,12 +318,9 @@ class JackhmmerSearch:
         trace = WorkloadTrace()
         hits: List[Hit] = []
         profile = ProfileHMM.from_query(query_sequence, mtype, name=query_name)
-        gumbel = calibrate(profile, seed=self.seed)
+        gumbel = self._calibrate(profile, self.seed)
 
-        encoded_targets: List[Tuple[str, str, np.ndarray]] = [
-            (name, seq, encode_sequence(seq, mtype))
-            for name, seq in self.database.records
-        ]
+        encoded_targets = self.encoded_targets()
         # Shard boundaries depend only on (record count, scan_shards) —
         # the same geometry the checkpoint/resume accounting uses —
         # never on the worker count, so every plan scans identical
@@ -268,7 +333,7 @@ class JackhmmerSearch:
 
             payloads = [
                 (i, profile, gumbel, encoded_targets[lo:hi], cfg,
-                 db_paper_size)
+                 db_paper_size, self.plan.kernel)
                 for i, (lo, hi) in enumerate(bounds)
             ]
             outcome = run_sharded(scan_protein_shard, payloads, self.plan)
@@ -311,7 +376,9 @@ class JackhmmerSearch:
                 profile = ProfileHMM.from_alignment(
                     rows, mtype, name=f"{query_name}_iter{iteration + 2}"
                 )
-                gumbel = calibrate(profile, seed=self.seed + iteration + 1)
+                gumbel = self._calibrate(
+                    profile, self.seed + iteration + 1
+                )
 
         return SearchResult(
             query_name=query_name,

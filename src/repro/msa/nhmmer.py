@@ -24,6 +24,8 @@ import dataclasses
 import math
 from typing import List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..parallel.executor import ExecutionOutcome, run_sharded
 from ..parallel.plan import ExecutionPlan
 from ..parallel.shard import merge_sharded, shard_bounds
@@ -32,6 +34,14 @@ from ..trace import AccessPattern, OpRecord, WorkloadTrace
 from .database import BufferedDatabaseReader, SCAN_SHARDS, SequenceDatabase
 from .dp import calc_band_9, calc_band_10, msv_filter
 from .evalue import calibrate
+from .kernels import (
+    batch_targets,
+    calc_band_9_batch,
+    calc_band_10_batch,
+    emission_tensor,
+    msv_filter_batch,
+    viterbi_panel_scores,
+)
 from .jackhmmer import (
     FORWARD_INSTR_PER_CELL,
     Hit,
@@ -126,16 +136,26 @@ class NhmmerResult:
     )
 
 
+def _window_bounds(length: int) -> List[Tuple[int, int]]:
+    """``[start, end)`` scan-window ranges over a length-``n`` target.
+
+    Shared by the scalar path (which slices the raw string) and the
+    batched path (which slices the encoded array — residue encoding is
+    per-character, so the two are interchangeable).
+    """
+    if length <= SCAN_WINDOW:
+        return [(0, length)]
+    step = SCAN_WINDOW // 2
+    return [
+        (start, min(start + SCAN_WINDOW, length))
+        for start in range(0, length - step, step)
+    ]
+
+
 def _windows(sequence: str) -> List[str]:
     """Split a target into overlapping scan windows (both handled as
     forward strand; our synthetic RNA has no strand asymmetry)."""
-    if len(sequence) <= SCAN_WINDOW:
-        return [sequence]
-    step = SCAN_WINDOW // 2
-    return [
-        sequence[start:start + SCAN_WINDOW]
-        for start in range(0, len(sequence) - step, step)
-    ]
+    return [sequence[lo:hi] for lo, hi in _window_bounds(len(sequence))]
 
 
 def scan_rna_shard(payload):
@@ -143,11 +163,16 @@ def scan_rna_shard(payload):
 
     Module-level and picklable (fork-pool entry point); ``payload`` is
     ``(shard_index, profile, gumbel, records, mtype, band, msv_evalue,
-    final_evalue, db_size)``.  Returns ``(shard_index, hits,
+    final_evalue, db_size, kernel)``.  Returns ``(shard_index, hits,
     candidates, msv_pass, msv_cells, vit_cells, fwd_cells)``.
     """
     (shard_index, profile, gumbel, records, mtype, band,
-     msv_evalue, final_evalue, db_size) = payload
+     msv_evalue, final_evalue, db_size, kernel) = payload
+    if kernel == "batched":
+        return _scan_rna_shard_batched(
+            shard_index, profile, gumbel, records, mtype, band,
+            msv_evalue, final_evalue, db_size,
+        )
     hits: List[Hit] = []
     msv_cells = vit_cells = fwd_cells = 0
     msv_pass = 0
@@ -166,15 +191,83 @@ def scan_rna_shard(payload):
             continue
         msv_pass += 1
         encoded = encode_sequence(best_window, mtype)
-        vit = calc_band_9(profile, encoded, band=band)
+        emissions = profile.emission_row(encoded)
+        vit = calc_band_9(profile, encoded, band=band, emissions=emissions)
         vit_cells += vit.cells
-        fwd = calc_band_10(profile, encoded, band=band)
+        fwd = calc_band_10(profile, encoded, band=band, emissions=emissions)
         fwd_cells += fwd.cells
         evalue = gumbel.evalue(fwd.score, db_size)
         if evalue > final_evalue:
             continue
         hits.append(Hit(name, seq, vit.score, fwd.score, evalue))
     return (shard_index, tuple(hits), len(records), msv_pass,
+            msv_cells, vit_cells, fwd_cells)
+
+
+def _scan_rna_shard_batched(
+    shard_index, profile, gumbel, records, mtype, band,
+    msv_evalue, final_evalue, db_size,
+):
+    """Batched variant of :func:`scan_rna_shard`'s cascade.
+
+    Each record is encoded **once** and its windows are slices of that
+    encoding; every window of every record joins one length-bucketed
+    MSV pass, then the per-record best windows (first-max, matching the
+    scalar loop's strict ``>``) share a single emission tensor across
+    the Viterbi and Forward kernels.  Bit-identical to the scalar path.
+    """
+    window_encs: List[np.ndarray] = []
+    owners: List[int] = []
+    for rec_idx, (_, seq) in enumerate(records):
+        encoded = encode_sequence(seq, mtype)
+        for lo, hi in _window_bounds(len(encoded)):
+            owners.append(rec_idx)
+            window_encs.append(encoded[lo:hi])
+
+    msv_cells = 0
+    msv_scores = [0.0] * len(window_encs)
+    for batch in batch_targets(window_encs):
+        res = msv_filter_batch(profile, batch)
+        msv_cells += int(res.cells.sum())
+        for row, idx in enumerate(batch.indices):
+            msv_scores[idx] = float(res.scores[row])
+
+    best_window: dict = {}
+    for w_idx, rec_idx in enumerate(owners):
+        cur = best_window.get(rec_idx)
+        if cur is None or msv_scores[w_idx] > msv_scores[cur]:
+            best_window[rec_idx] = w_idx
+    survivors = [
+        (rec_idx, best_window[rec_idx])
+        for rec_idx in range(len(records))
+        if not gumbel.evalue(msv_scores[best_window[rec_idx]], db_size)
+        > msv_evalue
+    ]
+
+    vit_cells = fwd_cells = 0
+    vit_scores = [0.0] * len(survivors)
+    fwd_scores = [0.0] * len(survivors)
+    for batch in batch_targets([window_encs[w] for _, w in survivors]):
+        emissions = emission_tensor(profile, batch)
+        vit = calc_band_9_batch(profile, batch, band=band,
+                                emissions=emissions)
+        fwd = calc_band_10_batch(profile, batch, band=band,
+                                 emissions=emissions)
+        vit_cells += int(vit.cells.sum())
+        fwd_cells += int(fwd.cells.sum())
+        for row, idx in enumerate(batch.indices):
+            vit_scores[idx] = float(vit.scores[row])
+            fwd_scores[idx] = float(fwd.scores[row])
+
+    hits: List[Hit] = []
+    for pos, (rec_idx, _) in enumerate(survivors):
+        evalue = gumbel.evalue(fwd_scores[pos], db_size)
+        if evalue > final_evalue:
+            continue
+        name, seq = records[rec_idx]
+        hits.append(Hit(name, seq, vit_scores[pos], fwd_scores[pos],
+                        evalue))
+    return (shard_index, tuple(hits), len(records), len(survivors),
             msv_cells, vit_cells, fwd_cells)
 
 
@@ -210,7 +303,16 @@ class NhmmerSearch:
         """Run the windowed cascade for one RNA query."""
         mtype = self.database.spec.molecule_type
         profile = ProfileHMM.from_query(query_sequence, mtype, name=query_name)
-        gumbel = calibrate(profile, seed=self.seed)
+        gumbel = calibrate(
+            profile,
+            seed=self.seed,
+            # Panel scores are bit-identical, so both kernel modes
+            # calibrate to the same parameters.
+            panel_score_fn=(
+                viterbi_panel_scores
+                if self.plan.kernel == "batched" else None
+            ),
+        )
         db_size = self.database.spec.num_sequences
         scale = self.database.scale_factor
 
@@ -219,7 +321,8 @@ class NhmmerSearch:
         bounds = shard_bounds(len(records), self.scan_shards)
         payloads = [
             (i, profile, gumbel, records[lo:hi], mtype, self.band,
-             self.msv_evalue, self.final_evalue, db_size)
+             self.msv_evalue, self.final_evalue, db_size,
+             self.plan.kernel)
             for i, (lo, hi) in enumerate(bounds)
         ]
         outcome = run_sharded(scan_rna_shard, payloads, self.plan)

@@ -22,7 +22,7 @@ from .executor import (
     available_workers,
     run_sharded,
 )
-from .plan import BACKENDS, ExecutionPlan
+from .plan import BACKENDS, ExecutionPlan, KERNEL_MODES
 from .shard import merge_sharded, records_remaining, shard_bounds
 from .timeline import record_outcome, scan_timeline
 
@@ -30,6 +30,7 @@ __all__ = [
     "BACKENDS",
     "ExecutionOutcome",
     "ExecutionPlan",
+    "KERNEL_MODES",
     "TaskTiming",
     "available_workers",
     "merge_sharded",

@@ -41,25 +41,15 @@ def _best_of(repeats: int, fn: Callable[[], object]) -> float:
     return best
 
 
-def measure_scan_scaling(
-    worker_counts: Sequence[int] = DEFAULT_WORKERS,
-    *,
-    seed: int = 0,
-    num_background: int = 96,
-    homologs_per_query: int = 8,
-    query_length: int = 242,
-    repeats: int = 1,
-    backend: str = "process",
-) -> "OrderedDict[int, float]":
-    """Wall seconds of the sharded jackhmmer scan per worker count.
-
-    Builds one synthetic protein database (2PV7-like query length by
-    default), then runs the identical search under plans with
-    increasing workers.  Raises if any parallel run's hits/stats
-    deviate from the 1-worker run.
-    """
+def _scan_fixture(
+    seed: int,
+    num_background: int,
+    homologs_per_query: int,
+    query_length: int,
+):
+    """One synthetic protein database + query shared by the scan
+    measurements (2PV7-like query length by default)."""
     from ..msa.database import PROTEIN_SEARCH_DBS, build_database
-    from ..msa.jackhmmer import JackhmmerSearch, SearchConfig
     from ..sequences.generator import random_sequence
 
     query = random_sequence(query_length, seed=seed + 1)
@@ -71,6 +61,32 @@ def measure_scan_scaling(
         low_complexity_fraction=0.08,
         seed=seed,
     )
+    return database, query
+
+
+def measure_scan_scaling(
+    worker_counts: Sequence[int] = DEFAULT_WORKERS,
+    *,
+    seed: int = 0,
+    num_background: int = 96,
+    homologs_per_query: int = 8,
+    query_length: int = 242,
+    repeats: int = 1,
+    backend: str = "process",
+    kernel: str = "batched",
+) -> "OrderedDict[int, float]":
+    """Wall seconds of the sharded jackhmmer scan per worker count.
+
+    Builds one synthetic protein database, then runs the identical
+    search under plans with increasing workers and the given
+    ``kernel`` mode.  Raises if any parallel run's hits/stats deviate
+    from the 1-worker run.
+    """
+    from ..msa.jackhmmer import JackhmmerSearch, SearchConfig
+
+    database, query = _scan_fixture(
+        seed, num_background, homologs_per_query, query_length
+    )
     config = SearchConfig(iterations=1)
     baseline = None
     series: "OrderedDict[int, float]" = OrderedDict()
@@ -79,7 +95,9 @@ def measure_scan_scaling(
             database,
             config,
             seed=seed,
-            plan=ExecutionPlan(workers=workers, backend=backend),
+            plan=ExecutionPlan(
+                workers=workers, backend=backend, kernel=kernel
+            ),
         )
         result_box = {}
 
@@ -95,6 +113,60 @@ def measure_scan_scaling(
             raise AssertionError(
                 f"parallel scan at {workers} workers diverged from serial"
             )
+    return series
+
+
+def measure_kernel_speedup(
+    *,
+    seed: int = 0,
+    num_background: int = 60,
+    homologs_per_query: int = 60,
+    query_length: int = 242,
+    repeats: int = 3,
+    scan_shards: int = 2,
+) -> "OrderedDict[str, float]":
+    """Wall seconds of one serial shard scan per kernel mode.
+
+    Times the identical single-worker search with the scalar per-target
+    loop and with the batched tensor cascade.  Unlike the worker curves
+    this speedup is algorithmic, not core-bound, so it shows up even on
+    a 1-core host.  Raises if the two kernels' hits or stats differ —
+    the bit-identity contract checked at measurement time.
+
+    The default fixture is homolog-rich so a large fraction of targets
+    survives into the banded kernels — the cycle distribution the
+    paper's Table IV reports (``calc_band_9``/``calc_band_10`` are the
+    MSA hot spots), and the regime where batching pays off most.
+    """
+    from ..msa.jackhmmer import JackhmmerSearch, SearchConfig
+    from .plan import KERNEL_MODES
+
+    database, query = _scan_fixture(
+        seed, num_background, homologs_per_query, query_length
+    )
+    config = SearchConfig(iterations=1)
+    results = {}
+    series: "OrderedDict[str, float]" = OrderedDict()
+    for kernel in KERNEL_MODES:
+        search = JackhmmerSearch(
+            database,
+            config,
+            seed=seed,
+            plan=ExecutionPlan(workers=1, backend="serial", kernel=kernel),
+            scan_shards=scan_shards,
+        )
+        result_box = {}
+
+        def run():
+            result_box["r"] = search.search("kernel_query", query)
+
+        series[kernel] = _best_of(repeats, run)
+        results[kernel] = result_box["r"]
+    scalar, batched = results["scalar"], results["batched"]
+    if scalar.hits != batched.hits or scalar.stats != batched.stats:
+        raise AssertionError(
+            "batched kernel results diverged from scalar"
+        )
     return series
 
 

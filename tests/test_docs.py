@@ -25,6 +25,7 @@ EXECUTABLE_DOCS = [
     DOCS / "observability.md",
     DOCS / "metrics_reference.md",
     DOCS / "parallelism.md",
+    DOCS / "kernels.md",
 ]
 
 _FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)
@@ -87,3 +88,4 @@ class TestIntraRepoLinks:
         assert "docs/observability.md" in readme
         assert "docs/metrics_reference.md" in readme
         assert "docs/parallelism.md" in readme
+        assert "docs/kernels.md" in readme

@@ -83,6 +83,30 @@ class TestMsvFilter:
         res = msv_filter(prof, enc)
         assert res.cells == 10 * len(enc)
 
+    def test_empty_sequence(self):
+        # Regression: used to crash on running.max() of an empty array.
+        prof, _ = make_case()
+        res = msv_filter(prof, np.array([], dtype=np.int64))
+        assert res.score == 0.0
+        assert res.cells == 0
+
+
+class TestPrecomputedEmissions:
+    """``emissions=`` must be a pure cache: same results, one compute."""
+
+    def test_all_kernels_accept_precomputed_matrix(self):
+        prof, enc = make_case(qlen=24, tlen=30, seed=8)
+        emissions = prof.emission_row(enc)
+        assert msv_filter(prof, enc, emissions=emissions) == msv_filter(
+            prof, enc
+        )
+        assert calc_band_9(prof, enc, band=12, emissions=emissions) == (
+            calc_band_9(prof, enc, band=12)
+        )
+        assert calc_band_10(prof, enc, band=12, emissions=emissions) == (
+            calc_band_10(prof, enc, band=12)
+        )
+
 
 class TestBanding:
     def test_band_mask_shape_and_diagonal(self):

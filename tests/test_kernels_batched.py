@@ -1,0 +1,352 @@
+"""Differential tests for :mod:`repro.msa.kernels`.
+
+The batched kernels' contract is **bit-identity** with the scalar
+kernels in :mod:`repro.msa.dp`: every score, DP cell count, band
+width, survivor set and hit list must be exactly equal — ``==`` on
+floats, never ``approx`` — for any mix of target lengths (empty and
+single-residue included), any band, any bucket boundary, and any
+:class:`ExecutionPlan` backend or worker count.  Hypothesis drives the
+length/band/profile space; fixed cases pin the geometry helpers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.msa.database import NT_RNA, PROTEIN_SEARCH_DBS, build_database
+from repro.msa.dp import NEG_INF, calc_band_9, calc_band_10, msv_filter
+from repro.msa.evalue import calibrate
+from repro.msa.jackhmmer import (
+    JackhmmerSearch,
+    SearchConfig,
+    scan_protein_shard,
+)
+from repro.msa.kernels import (
+    PAD,
+    TargetBatch,
+    batch_targets,
+    calc_band_9_batch,
+    calc_band_10_batch,
+    emission_tensor,
+    msv_filter_batch,
+    pad_length,
+    run_cascade,
+)
+from repro.msa.nhmmer import NhmmerSearch
+from repro.msa.profile_hmm import ProfileHMM, encode_sequence
+from repro.parallel import ExecutionPlan
+from repro.sequences.alphabets import MoleculeType, alphabet_for
+from repro.sequences.generator import random_sequence
+
+PROTEIN = MoleculeType.PROTEIN
+
+
+def make_profile(qlen, seed=0):
+    return ProfileHMM.from_query(
+        random_sequence(qlen, seed=seed), PROTEIN, name=f"q{seed}"
+    )
+
+
+def encode_random(lengths, seed=0):
+    rng = np.random.default_rng(seed)
+    residues = list(alphabet_for(PROTEIN))
+    return [
+        encode_sequence("".join(rng.choice(residues, n)), PROTEIN)
+        for n in lengths
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Bucketing geometry
+# ---------------------------------------------------------------------------
+
+
+class TestBatching:
+    @pytest.mark.parametrize("n,width", [
+        (0, 1), (1, 1), (2, 2), (3, 4), (4, 4), (5, 8),
+        (8, 8), (9, 16), (255, 256), (256, 256), (257, 512),
+    ])
+    def test_pad_length_powers_of_two(self, n, width):
+        assert pad_length(n) == width
+
+    def test_pad_length_rejects_negative(self):
+        with pytest.raises(ValueError):
+            pad_length(-1)
+
+    def test_batches_cover_all_targets_once(self):
+        encs = encode_random([0, 1, 3, 4, 5, 17, 17, 100], seed=1)
+        batches = batch_targets(encs)
+        seen = [i for b in batches for i in b.indices]
+        assert sorted(seen) == list(range(len(encs)))
+
+    def test_rows_padded_with_sentinel(self):
+        encs = encode_random([3, 5], seed=2)
+        (batch,) = [b for b in batch_targets(encs) if 3 in b.seq_lens]
+        row = list(batch.indices).index(0)
+        assert (batch.encoded[row, 3:] == PAD).all()
+        assert (batch.encoded[row, :3] == encs[0]).all()
+
+    def test_same_bucket_preserves_input_order(self):
+        encs = encode_random([9, 12, 16, 10], seed=3)  # all pad to 16
+        (batch,) = batch_targets(encs)
+        assert batch.indices == (0, 1, 2, 3)
+
+    def test_take_compacts_and_keeps_original_indices(self):
+        encs = encode_random([5, 6, 7, 8], seed=4)
+        (batch,) = batch_targets(encs)
+        sub = batch.take([2, 0])
+        assert sub.indices == (2, 0)
+        assert sub.size == 2
+        assert (sub.encoded[0] == batch.encoded[2]).all()
+        assert sub.padded_len == batch.padded_len
+
+    def test_emission_tensor_matches_emission_row(self):
+        profile = make_profile(12, seed=5)
+        encs = encode_random([0, 1, 6, 8], seed=5)
+        encs[2][1] = -1  # wildcard position
+        for batch in batch_targets(encs):
+            tensor = emission_tensor(profile, batch)
+            for row, idx in enumerate(batch.indices):
+                n = len(encs[idx])
+                expected = profile.emission_row(encs[idx])
+                assert (tensor[:, row, :n] == expected).all()
+                assert (tensor[:, row, n:] == NEG_INF).all()
+
+
+# ---------------------------------------------------------------------------
+# Kernel-level bit-identity (property-based)
+# ---------------------------------------------------------------------------
+
+
+def assert_batch_matches_scalar(profile, encs, band):
+    """Every batched result must equal the scalar result bit for bit."""
+    for batch in batch_targets(encs):
+        emissions = emission_tensor(profile, batch)
+        msv = msv_filter_batch(profile, batch, emissions=emissions)
+        vit = calc_band_9_batch(profile, batch, band=band,
+                                emissions=emissions)
+        fwd = calc_band_10_batch(profile, batch, band=band,
+                                 emissions=emissions)
+        for row, idx in enumerate(batch.indices):
+            s_msv = msv_filter(profile, encs[idx])
+            s_vit = calc_band_9(profile, encs[idx], band=band)
+            s_fwd = calc_band_10(profile, encs[idx], band=band)
+            assert msv.scores[row] == s_msv.score
+            assert msv.cells[row] == s_msv.cells
+            assert vit.scores[row] == s_vit.score
+            assert vit.cells[row] == s_vit.cells
+            assert vit.band_widths[row] == s_vit.band_width
+            assert fwd.scores[row] == s_fwd.score
+            assert fwd.cells[row] == s_fwd.cells
+            assert fwd.band_widths[row] == s_fwd.band_width
+
+
+class TestKernelBitIdentity:
+    @given(
+        qlen=st.integers(min_value=1, max_value=24),
+        lengths=st.lists(
+            st.integers(min_value=0, max_value=40), min_size=1, max_size=10
+        ),
+        band=st.integers(min_value=1, max_value=48),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_random_profiles_and_length_mixes(
+        self, qlen, lengths, band, seed
+    ):
+        profile = make_profile(qlen, seed=seed)
+        encs = encode_random(lengths, seed=seed + 1)
+        assert_batch_matches_scalar(profile, encs, band)
+
+    def test_empty_and_single_residue_targets(self):
+        profile = make_profile(10, seed=6)
+        encs = encode_random([0, 1, 0, 1, 2], seed=6)
+        assert_batch_matches_scalar(profile, encs, band=8)
+
+    def test_bucket_boundary_lengths(self):
+        # Lengths straddling every power-of-two boundary in range.
+        profile = make_profile(16, seed=7)
+        lengths = [1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 32, 33, 63, 64,
+                   65]
+        assert_batch_matches_scalar(
+            profile, encode_random(lengths, seed=7), band=16
+        )
+
+    def test_wildcards_in_batch(self):
+        profile = make_profile(14, seed=8)
+        encs = encode_random([10, 20], seed=8)
+        encs[0][0] = -1
+        encs[1][-1] = -1
+        assert_batch_matches_scalar(profile, encs, band=12)
+
+    def test_band_wider_than_everything(self):
+        profile = make_profile(6, seed=9)
+        assert_batch_matches_scalar(
+            profile, encode_random([0, 3, 9], seed=9), band=1000
+        )
+
+    def test_batch_rejects_nonpositive_band(self):
+        profile = make_profile(6, seed=10)
+        (batch,) = batch_targets(encode_random([4], seed=10))
+        with pytest.raises(ValueError):
+            calc_band_9_batch(profile, batch, band=0)
+
+
+# ---------------------------------------------------------------------------
+# Cascade equivalence: batched shard scan == scalar shard scan
+# ---------------------------------------------------------------------------
+
+
+def _shard_case(seed=0, homologs=6, background=20):
+    query = random_sequence(150, seed=seed + 1)
+    db = build_database(
+        PROTEIN_SEARCH_DBS[0],
+        [query],
+        num_background=background,
+        homologs_per_query=homologs,
+        low_complexity_fraction=0.1,
+        seed=seed,
+    )
+    mtype = db.spec.molecule_type
+    profile = ProfileHMM.from_query(query, mtype, name="q")
+    gumbel = calibrate(profile, seed=seed)
+    targets = [
+        (name, seq, encode_sequence(seq, mtype)) for name, seq in db.records
+    ]
+    return query, db, profile, gumbel, targets
+
+
+class TestCascadeEquivalence:
+    @pytest.mark.parametrize("seed", [0, 4])
+    def test_shard_scan_identical(self, seed):
+        _, db, profile, gumbel, targets = _shard_case(seed=seed)
+        cfg = SearchConfig(iterations=1)
+        results = {}
+        for kernel in ("scalar", "batched"):
+            results[kernel] = scan_protein_shard(
+                (0, profile, gumbel, targets, cfg,
+                 db.spec.num_sequences, kernel)
+            )
+        assert results["scalar"] == results["batched"]
+
+    def test_cascade_counters_match_scalar_loop(self):
+        _, db, profile, gumbel, targets = _shard_case(seed=2)
+        cfg = SearchConfig(iterations=1)
+        outcome = run_cascade(
+            profile, gumbel, [enc for _, _, enc in targets],
+            band=cfg.band, msv_evalue=cfg.msv_evalue,
+            viterbi_evalue=cfg.viterbi_evalue,
+            final_evalue=cfg.final_evalue,
+            db_size=db.spec.num_sequences,
+        )
+        scalar = scan_protein_shard(
+            (0, profile, gumbel, targets, cfg,
+             db.spec.num_sequences, "scalar")
+        )
+        assert outcome.candidates == scalar.candidates
+        assert outcome.msv_pass == scalar.msv_pass
+        assert outcome.vit_pass == scalar.vit_pass
+        assert outcome.msv_cells == scalar.msv_cells
+        assert outcome.vit_cells == scalar.vit_cells
+        assert outcome.fwd_cells == scalar.fwd_cells
+        assert [
+            (targets[i][0], vit, fwd, ev)
+            for i, vit, fwd, ev in outcome.accepted
+        ] == [
+            (h.target_name, h.viterbi_score, h.forward_score, h.evalue)
+            for h in scalar.hits
+        ]
+
+    def test_empty_shard(self):
+        _, db, profile, gumbel, _ = _shard_case(seed=3)
+        cfg = SearchConfig(iterations=1)
+        for kernel in ("scalar", "batched"):
+            result = scan_protein_shard(
+                (0, profile, gumbel, [], cfg, db.spec.num_sequences,
+                 kernel)
+            )
+            assert result.hits == ()
+            assert result.candidates == 0
+
+
+# ---------------------------------------------------------------------------
+# Full searches: every backend x worker count x kernel mode
+# ---------------------------------------------------------------------------
+
+KERNEL_PLANS = [
+    ExecutionPlan(workers=1, backend="serial", kernel="batched"),
+    ExecutionPlan(workers=2, backend="thread", kernel="batched"),
+    ExecutionPlan(workers=4, backend="process", kernel="batched"),
+    ExecutionPlan(workers=7, backend="thread", kernel="batched"),
+]
+
+
+class TestSearchEquivalence:
+    def test_jackhmmer_batched_equals_scalar_for_every_plan(self):
+        query, db, *_ = _shard_case(seed=1)
+        config = SearchConfig(iterations=2)
+        scalar = JackhmmerSearch(
+            db, config, seed=1,
+            plan=ExecutionPlan(workers=1, backend="serial",
+                               kernel="scalar"),
+        ).search("q", query)
+        for plan in KERNEL_PLANS:
+            batched = JackhmmerSearch(
+                db, config, seed=1, plan=plan
+            ).search("q", query)
+            assert batched.hits == scalar.hits, plan
+            assert batched.stats == scalar.stats, plan
+            assert batched.gumbel == scalar.gumbel, plan
+
+    def test_nhmmer_batched_equals_scalar_for_every_plan(self):
+        query = random_sequence(
+            320, seed=6, molecule_type=NT_RNA.molecule_type
+        )
+        db = build_database(
+            NT_RNA, [query], num_background=14,
+            homologs_per_query=3, seed=6,
+        )
+        scalar = NhmmerSearch(
+            db, seed=6,
+            plan=ExecutionPlan(workers=1, backend="serial",
+                               kernel="scalar"),
+        ).search("rna", query)
+        for plan in KERNEL_PLANS:
+            batched = NhmmerSearch(db, seed=6, plan=plan).search(
+                "rna", query
+            )
+            assert batched.hits == scalar.hits, plan
+            assert batched.stats == scalar.stats, plan
+
+    def test_precomputed_encoded_targets_change_nothing(self):
+        query, db, *_ = _shard_case(seed=5)
+        config = SearchConfig(iterations=1)
+        fresh = JackhmmerSearch(db, config, seed=5).search("q", query)
+        mtype = db.spec.molecule_type
+        encoded = [
+            (name, seq, encode_sequence(seq, mtype))
+            for name, seq in db.records
+        ]
+        cached = JackhmmerSearch(
+            db, config, seed=5, encoded_targets=encoded
+        ).search("q", query)
+        assert cached.hits == fresh.hits
+        assert cached.stats == fresh.stats
+
+    def test_encoded_targets_must_cover_database(self):
+        _, db, *_ = _shard_case(seed=5)
+        with pytest.raises(ValueError):
+            JackhmmerSearch(db, encoded_targets=[])
+
+
+class TestKernelPlanField:
+    def test_rejects_unknown_kernel(self):
+        with pytest.raises(ValueError):
+            ExecutionPlan(kernel="simd")
+
+    def test_default_is_batched(self):
+        assert ExecutionPlan().kernel == "batched"
+        assert ExecutionPlan.serial().kernel == "batched"
