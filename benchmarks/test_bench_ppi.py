@@ -1,0 +1,90 @@
+"""PPI screening-mix benchmarks: store-backed vs store-less gateway.
+
+The acceptance harness for the disk feature store:
+
+* records the wall cost of simulating the screening mix with and
+  without the store into ``benchmarks/out/BENCH_ppi.json`` for the
+  canary-normalised regression gate;
+* asserts the store's *simulated* serving win outright: hit-driven
+  throughput on the screening mix must beat the store-less cold
+  gateway by >= 5x (the AF_Cache amortisation claim, measured in
+  simulated seconds so the bar is machine-independent).
+
+Set REPRO_BENCH_QUICK=1 to shrink the request stream (used by CI).
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+
+import pytest
+
+from repro.hardware.platform import get_platform
+from repro.serving import GatewayConfig, ServingGateway, ppi_screen_stream
+from repro.store import FeatureStore
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+REPEATS = 1 if QUICK else 3
+N_REQUESTS = 8000 if QUICK else 20000
+NUM_CHAINS = 100
+RATE_RPS = 0.28
+SERVER = get_platform("Server")
+
+CONFIG = GatewayConfig(
+    num_gpu_workers=8, num_msa_workers=4, max_batch=8, queue_limit=2000,
+)
+
+
+def _stream(seed=0):
+    return ppi_screen_stream(
+        N_REQUESTS, num_chains=NUM_CHAINS, seed=seed, rate_rps=RATE_RPS,
+    )
+
+
+def _run_with_store():
+    scratch = tempfile.mkdtemp(prefix="bench_ppi_store_")
+    try:
+        gateway = ServingGateway(
+            SERVER, CONFIG, store=FeatureStore(scratch)
+        )
+        return gateway.run(_stream())
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+
+
+def _run_cold():
+    return ServingGateway(SERVER, CONFIG).run(_stream())
+
+
+def test_record_ppi_timings(bench_recorder):
+    """Simulator wall cost of the screening mix, store on vs off."""
+    results = {}
+
+    def run_store():
+        results["store"] = _run_with_store()
+
+    def run_cold():
+        results["cold"] = _run_cold()
+
+    bench_recorder.record("ppi", "screen_store", run_store,
+                          repeats=REPEATS)
+    bench_recorder.record("ppi", "screen_cold", run_cold,
+                          repeats=REPEATS)
+    assert results["store"].completed == N_REQUESTS
+    assert results["store"].store_summary is not None
+
+
+def test_store_throughput_beats_cold_5x():
+    """The store's serving win in *simulated* time: >= 5x throughput
+    on the screening mix over the store-less gateway."""
+    stored = _run_with_store()
+    cold = _run_cold()
+    assert cold.throughput_rps > 0
+    ratio = stored.throughput_rps / cold.throughput_rps
+    assert ratio >= 5.0, (
+        f"store throughput {stored.throughput_rps:.5f} rps is only "
+        f"{ratio:.2f}x the cold gateway's {cold.throughput_rps:.5f} rps"
+    )
+    assert stored.store_summary["hit_rate"] >= 0.90

@@ -169,12 +169,25 @@ def cmd_estimate(args: argparse.Namespace) -> int:
     return 0 if report.safe_somewhere else 3
 
 
+def _open_store(args: argparse.Namespace):
+    """The FeatureStore the flags describe, or None without --store-dir."""
+    if not getattr(args, "store_dir", None):
+        return None
+    from .store import FeatureStore
+
+    return FeatureStore(
+        args.store_dir,
+        byte_budget=int(args.store_budget_mb * 1024 * 1024),
+    )
+
+
 def cmd_serve_sim(args: argparse.Namespace) -> int:
     from .serving import (
         GatewayConfig,
         PoissonArrivals,
         ServingGateway,
         build_request_stream,
+        ppi_screen_stream,
         sequential_warm_baseline,
     )
 
@@ -189,13 +202,25 @@ def cmd_serve_sim(args: argparse.Namespace) -> int:
         max_retries=args.retries,
         retry_backoff_seconds=args.backoff,
     )
-    stream = build_request_stream(
-        list(builtin_samples().values()),
-        n=args.requests,
-        arrivals=PoissonArrivals(args.rate, seed=args.seed),
-        seed=args.seed,
-    )
-    gateway = ServingGateway(platform, config)
+    if args.scenario == "ppi-screen":
+        stream = ppi_screen_stream(
+            args.requests, num_chains=args.chains,
+            seed=args.seed, rate_rps=args.rate,
+        )
+    else:
+        stream = build_request_stream(
+            list(builtin_samples().values()),
+            n=args.requests,
+            arrivals=PoissonArrivals(args.rate, seed=args.seed),
+            seed=args.seed,
+        )
+    store = _open_store(args)
+    if store is not None and args.precompute:
+        from .store import precompute_msas
+
+        precompute = precompute_msas([r.sample for r in stream], store)
+        print(precompute.render(), file=sys.stderr)
+    gateway = ServingGateway(platform, config, store=store)
     report = gateway.run(stream)
     baseline = None
     speedup = None
@@ -228,6 +253,40 @@ def cmd_serve_sim(args: argparse.Namespace) -> int:
                         f"/{report.submitted})"
                     )
             print(line)
+    return 0
+
+
+def cmd_msa_precompute(args: argparse.Namespace) -> int:
+    from .sequences.sample import ComplexityClass
+    from .serving import ppi_chain_library
+    from .store import FeatureStore, precompute_msas
+
+    if args.scenario == "ppi-screen":
+        from .sequences.chain import Assembly
+
+        samples = [
+            InputSample(
+                name=f"chain-{chain.chain_id}",
+                assembly=Assembly(
+                    name=chain.chain_id, chains=[chain]
+                ),
+                complexity=ComplexityClass.LOW,
+                target_characteristic="PPI screen precompute",
+            )
+            for chain in ppi_chain_library(args.chains, seed=args.seed)
+        ]
+    else:
+        samples = list(builtin_samples().values())
+    store = FeatureStore(
+        args.store_dir,
+        byte_budget=int(args.store_budget_mb * 1024 * 1024),
+    )
+    plan = ExecutionPlan(workers=args.workers, backend=args.backend)
+    report = precompute_msas(samples, store, plan=plan)
+    if args.format == "json":
+        print(json.dumps(report.summary(), indent=2))
+    else:
+        print(report.render())
     return 0
 
 
@@ -571,7 +630,42 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--no-baseline", action="store_true",
                        help="skip the sequential warm-server comparison")
     serve.add_argument("--format", choices=["text", "json"], default="text")
+    serve.add_argument("--scenario", choices=["default", "ppi-screen"],
+                       default="default",
+                       help="request mix: builtin samples, or the seeded "
+                            "all-vs-all PPI screening workload")
+    serve.add_argument("--chains", type=int, default=100,
+                       help="ppi-screen: size of the chain library")
+    serve.add_argument("--store-dir", default=None,
+                       help="enable the disk feature store at this path")
+    serve.add_argument("--store-budget-mb", type=float, default=64.0,
+                       help="feature-store LRU byte budget in MiB")
+    serve.add_argument("--precompute", action="store_true",
+                       help="bulk-fill the store from the stream's chains "
+                            "before serving (requires --store-dir)")
     serve.set_defaults(func=cmd_serve_sim)
+
+    precompute = sub.add_parser(
+        "msa-precompute",
+        help="bulk-fill a disk feature store with per-chain MSA "
+             "features before an inference wave (checkpointed: "
+             "already-stored chains are skipped on restart)",
+    )
+    precompute.add_argument("--store-dir", required=True,
+                            help="feature-store directory to fill")
+    precompute.add_argument("--store-budget-mb", type=float, default=64.0)
+    precompute.add_argument("--scenario",
+                            choices=["default", "ppi-screen"],
+                            default="ppi-screen")
+    precompute.add_argument("--chains", type=int, default=100,
+                            help="ppi-screen: size of the chain library")
+    precompute.add_argument("--workers", type=int, default=1,
+                            help="key-range shards computed in parallel")
+    precompute.add_argument("--backend", default="auto",
+                            choices=["auto", "serial", "thread", "process"])
+    precompute.add_argument("--format", choices=["text", "json"],
+                            default="text")
+    precompute.set_defaults(func=cmd_msa_precompute)
 
     chaos = sub.add_parser(
         "chaos",

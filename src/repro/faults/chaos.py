@@ -58,6 +58,7 @@ class ChaosConfig:
     db_stalls: int = 3
     db_corruptions: int = 2
     slow_nodes: int = 2
+    store_corruptions: int = 0   # needs a feature store to bite
     horizon_scale: float = 0.9   # faults land in this early fraction
     #                            # of the arrival window
     # -- recovery policy ----------------------------------------------
@@ -82,6 +83,7 @@ class ChaosConfig:
             db_stalls=self.db_stalls,
             db_corruptions=self.db_corruptions,
             slow_nodes=self.slow_nodes,
+            store_corruptions=self.store_corruptions,
         )
 
 
@@ -138,12 +140,15 @@ class ChaosResult:
         return "\n".join(lines)
 
 
-def _build(config: ChaosConfig, probe=None):
+def _build(config: ChaosConfig, probe=None, store=None):
     """The (gateway, stream, plan) triple a campaign config describes.
 
     ``probe`` is an optional :class:`~repro.observability.GatewayProbe`
     forwarded to the gateway, so chaos runs can record span timelines
-    without changing what the campaign simulates.
+    without changing what the campaign simulates.  ``store`` is an
+    optional :class:`~repro.store.FeatureStore` — required for
+    ``store_corruptions`` events to have anything to tamper (without
+    one they count as noops, which is itself an audited behaviour).
     """
     from ..hardware.platform import get_platform
     from ..sequences.builtin import builtin_samples
@@ -185,7 +190,8 @@ def _build(config: ChaosConfig, probe=None):
         degraded_msa_depth=config.degraded_msa_depth,
     )
     gateway = ServingGateway(
-        platform, gateway_config, fault_plan=plan, probe=probe
+        platform, gateway_config, fault_plan=plan, probe=probe,
+        store=store,
     )
     return gateway, stream, plan
 

@@ -28,6 +28,10 @@ Fault kinds map one-to-one onto the failure domains of the stack:
   invalidated, and the search reruns.
 * ``SLOW_NODE`` — a degraded worker (thermal throttling, noisy
   neighbour) runs work started in the window slower by a factor.
+* ``STORE_CORRUPTION`` — a persisted feature-store entry rots on disk
+  (bit flip, torn write survived by fsync lies); the store's checksum
+  catches it at the next read, which invalidates the entry and forces
+  a recompute instead of serving bad features.
 """
 
 from __future__ import annotations
@@ -52,11 +56,16 @@ class FaultKind(enum.Enum):
     DB_READ_STALL = "db_read_stall"
     DB_CORRUPTION = "db_corruption"
     SLOW_NODE = "slow_node"
+    STORE_CORRUPTION = "store_corruption"
 
 
 #: Kinds that can only target one domain.
 _GPU_ONLY = frozenset({FaultKind.GPU_OOM_SPIKE})
-_MSA_ONLY = frozenset({FaultKind.DB_READ_STALL, FaultKind.DB_CORRUPTION})
+_MSA_ONLY = frozenset({
+    FaultKind.DB_READ_STALL,
+    FaultKind.DB_CORRUPTION,
+    FaultKind.STORE_CORRUPTION,
+})
 
 
 @dataclasses.dataclass(frozen=True)
@@ -162,6 +171,7 @@ class FaultPlan:
         db_stalls: int = 0,
         db_corruptions: int = 0,
         slow_nodes: int = 0,
+        store_corruptions: int = 0,
     ) -> "FaultPlan":
         """A seeded schedule with the requested count of each kind.
 
@@ -182,6 +192,9 @@ class FaultPlan:
             (FaultKind.DB_READ_STALL, db_stalls),
             (FaultKind.DB_CORRUPTION, db_corruptions),
             (FaultKind.SLOW_NODE, slow_nodes),
+            # Appended last so zero-count plans draw the exact rng
+            # sequence (and events) they always did.
+            (FaultKind.STORE_CORRUPTION, store_corruptions),
         ]
         if any(n < 0 for _, n in counts):
             raise ValueError("fault counts must be >= 0")

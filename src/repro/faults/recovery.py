@@ -258,6 +258,7 @@ class FaultStats:
     breaker_closes: int = 0
     degraded_served: int = 0
     fault_retries: int = 0         # re-admissions caused by faults
+    store_corruptions: int = 0     # feature-store entries tampered
 
     def as_dict(self) -> "OrderedDict[str, object]":
         """Ordered dict in declaration order (the ``faults`` section
@@ -285,4 +286,5 @@ class FaultStats:
             breaker_closes=self.breaker_closes,
             degraded_served=self.degraded_served,
             fault_retries=self.fault_retries,
+            store_corruptions=self.store_corruptions,
         )

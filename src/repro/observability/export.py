@@ -268,6 +268,21 @@ def prometheus_metrics(report, prefix: str = "afsys_serving") -> str:
         lines.append(f"{name}_count{labels} {stats['count']}")
         lines.append(f"{name}_mean{labels} {stats['mean']}")
         lines.append(f"{name}_max{labels} {stats['max']}")
+    store = summary.get("store")
+    if store:
+        for key, value in store.items():
+            name = f"{prefix}_store_{key}"
+            lines.append(
+                f"# HELP {name} Feature-store counter "
+                f"(see docs/metrics_reference.md)."
+            )
+            kind = (
+                "gauge"
+                if key in ("hit_rate", "entries", "total_bytes")
+                else "counter"
+            )
+            lines.append(f"# TYPE {name} {kind}")
+            lines.append(f"{name}{labels} {value}")
     faults = summary.get("faults")
     if faults:
         plan = faults.get("plan", {})

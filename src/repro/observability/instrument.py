@@ -54,6 +54,19 @@ class GatewayProbe:
     def cache_hit(self, request, now: float) -> None:
         """The MSA cache answered; the request skips the MSA stage."""
 
+    def store_hit(self, request, now: float) -> None:
+        """Every chain's features came out of the disk feature store."""
+
+    def store_miss(self, request, now: float) -> None:
+        """At least one chain was absent from the disk feature store."""
+
+    def store_wait_shared(self, request, now: float, owner: str) -> None:
+        """The request subscribed to another key's in-flight chain
+        computation (cluster-wide coalescing via the lease table)."""
+
+    def store_waiter_released(self, request, now: float) -> None:
+        """A store-coalesced waiter was woken for re-routing."""
+
     def msa_queued(self, request, now: float) -> None:
         """The request started waiting for an MSA worker."""
 
@@ -257,6 +270,30 @@ class SpanProbe(GatewayProbe):
             parent_id=self._root[rid].span_id,
             depth=request.msa_depth,
         )
+
+    def store_hit(self, request, now: float) -> None:
+        rid = request.request_id
+        self.recorder.instant(
+            "store.hit", now, track=REQUEST_TRACK, request_id=rid,
+            parent_id=self._root[rid].span_id,
+            chains=len(request.chain_keys()),
+        )
+
+    def store_miss(self, request, now: float) -> None:
+        rid = request.request_id
+        self.recorder.instant(
+            "store.miss", now, track=REQUEST_TRACK, request_id=rid,
+            parent_id=self._root[rid].span_id,
+            chains=len(request.chain_keys()),
+        )
+
+    def store_wait_shared(self, request, now: float, owner: str) -> None:
+        self._begin_child(
+            request, "store.wait_shared", now, owner=owner
+        )
+
+    def store_waiter_released(self, request, now: float) -> None:
+        self._end_child(request, "store.wait_shared", now)
 
     def msa_queued(self, request, now: float) -> None:
         self._begin_child(request, "queue.msa", now)

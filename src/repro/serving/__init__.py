@@ -24,7 +24,13 @@ Quickstart::
 """
 
 from .batching import DynamicBatcher
-from .cache import CachedMsa, MsaResultCache, chain_content_key
+from .cache import (
+    CachedMsa,
+    MsaResultCache,
+    chain_content_key,
+    chain_feature_key,
+    chain_store_payload,
+)
 from .gateway import (
     AnalyticMsaCostModel,
     FunctionalMsaCostModel,
@@ -35,6 +41,11 @@ from .gateway import (
     serving_trace,
 )
 from .metrics import LatencyStats, ServingReport, build_report, percentile
+from .scenarios import (
+    ppi_chain_library,
+    ppi_pair_samples,
+    ppi_screen_stream,
+)
 from .queueing import (
     ArrivalProcess,
     BoundedFifo,
@@ -65,7 +76,12 @@ __all__ = [
     "build_report",
     "build_request_stream",
     "chain_content_key",
+    "chain_feature_key",
+    "chain_store_payload",
     "percentile",
+    "ppi_chain_library",
+    "ppi_pair_samples",
+    "ppi_screen_stream",
     "sequential_warm_baseline",
     "serving_trace",
 ]

@@ -16,7 +16,7 @@ import hashlib
 from collections import OrderedDict
 from typing import Optional
 
-from ..sequences.chain import Assembly
+from ..sequences.chain import Assembly, Chain
 
 
 def chain_content_key(assembly: Assembly) -> str:
@@ -38,6 +38,41 @@ def chain_content_key(assembly: Assembly) -> str:
     # colliding key silently serves one user's MSA for another's input
     # — a cross-contamination bug, not just a cache miss.
     return digest[:32]
+
+
+def chain_feature_key(chain: Chain) -> str:
+    """:func:`chain_content_key` of a chain on its own.
+
+    Per-chain MSAs do not depend on copy count (copies reuse one
+    search), so the key normalises ``copies`` to 1: this is exactly the
+    digest ``chain_content_key`` produces for a single-chain assembly
+    holding one copy of ``chain``.  Screening workloads key the disk
+    feature store per *chain* so an N-chain all-vs-all campaign stores
+    N entries, not N² pair entries.
+    """
+    part = f"{chain.molecule_type.value}:1:{chain.sequence}"
+    return hashlib.sha256(part.encode()).hexdigest()[:32]
+
+
+def chain_store_payload(chain: Chain) -> dict:
+    """The per-chain record the disk feature store persists.
+
+    Platform-independent on purpose (a store filled on one host must be
+    valid on another), and identical whether written by an offline
+    ``msa-precompute`` job or by a gateway leader publishing its scan —
+    the differential tests rely on that bit-equivalence.  ``msa_depth``
+    mirrors :class:`~repro.serving.gateway.AnalyticMsaCostModel`'s depth
+    law for a single chain.
+    """
+    return {
+        "schema": 1,
+        "molecule_type": chain.molecule_type.value,
+        "residues": len(chain.sequence or ""),
+        "msa_depth": min(254, 32 + len(chain.sequence or "") // 6),
+        "sequence_sha": hashlib.sha256(
+            (chain.sequence or "").encode()
+        ).hexdigest()[:16],
+    }
 
 
 @dataclasses.dataclass(frozen=True)
@@ -89,6 +124,13 @@ class MsaResultCache:
         if entry.degraded:
             self.degraded_rejected += 1
             return False
+        previous = self._store.get(key)
+        if previous is not None and previous != entry:
+            # Overwriting a live key with *different* content retires a
+            # result earlier requests may have been served from; that is
+            # an invalidation, not a silent refresh, and the disk
+            # feature store mirrors the same accounting.
+            self.invalidations += 1
         self._store[key] = entry
         self._store.move_to_end(key)
         while len(self._store) > self.capacity:

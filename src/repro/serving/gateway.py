@@ -47,6 +47,7 @@ from __future__ import annotations
 
 import dataclasses
 import heapq
+from collections import OrderedDict
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.server import DEFAULT_BUCKETS, InferenceServer
@@ -65,9 +66,16 @@ from ..model.config import ModelConfig
 from ..msa.database import SCAN_SHARDS
 from ..observability.instrument import NULL_PROBE, GatewayProbe
 from ..sequences.sample import InputSample
+from ..store.coalesce import InflightLeases
+from ..store.feature_store import FeatureStore
 from ..trace import OpRecord, Resource, WorkloadTrace
 from .batching import DynamicBatcher
-from .cache import CachedMsa, MsaResultCache, chain_content_key
+from .cache import (
+    CachedMsa,
+    MsaResultCache,
+    chain_content_key,
+    chain_store_payload,
+)
 from .metrics import ServingReport, build_report
 from .queueing import BoundedFifo, RequestState, ServingRequest
 
@@ -238,10 +246,15 @@ class ServingGateway:
         model_config: Optional[ModelConfig] = None,
         fault_plan: Optional[FaultPlan] = None,
         probe: Optional[GatewayProbe] = None,
+        store: Optional[FeatureStore] = None,
     ) -> None:
         self.platform = platform
         self.config = config or GatewayConfig()
         self.probe = probe or NULL_PROBE
+        #: Optional durable feature store the gateway reads through
+        #: *after* the in-memory LRU misses.  A warm store turns the
+        #: MSA phase into a metadata read; an empty one is transparent.
+        self.store = store
         self.msa_cost_model = msa_cost_model or AnalyticMsaCostModel(
             platform, threads=self.config.msa_threads_per_worker
         )
@@ -281,6 +294,17 @@ class ServingGateway:
         self._retries = 0
         self._oom_events = 0
         self._coalesced = 0
+        # -- feature-store state ---------------------------------------
+        self._leases = InflightLeases()   # chain key -> in-flight leader
+        self._store_hits = 0              # requests served from the store
+        self._store_misses = 0            # requests that missed it
+        self._store_coalesced = 0         # chain-level lease subscriptions
+        #: Store counters at run start: the report shows this run's
+        #: deltas, so a persistent store does not leak history between
+        #: seeded runs.
+        self._store_base = (
+            dict(self.store.counters()) if self.store is not None else {}
+        )
         # -- fault-injection state -------------------------------------
         self.fault_stats = FaultStats()
         self.checkpoints = CheckpointStore()
@@ -331,6 +355,8 @@ class ServingGateway:
                 self._on_fault(payload)
 
         self.probe.run_finished(last_time)
+        if self.store is not None:
+            self.store.sync()   # flush read-recency to the disk index
         return build_report(
             platform_name=self.platform.name,
             requests=requests,
@@ -347,6 +373,7 @@ class ServingGateway:
             retries=self._retries,
             oom_events=self._oom_events,
             fault_summary=self._fault_summary(),
+            store_summary=self._store_summary(),
         )
 
     def _make_breaker(self) -> CircuitBreaker:
@@ -379,6 +406,40 @@ class ServingGateway:
         )
         summary.update(stats.as_dict())
         return summary
+
+    def _store_summary(self) -> Optional[Dict[str, object]]:
+        """The report's ``store`` section: this run's request-level
+        hit/miss/coalesce counts plus the store's own operation deltas
+        (chain-level reads, puts, evictions, corruption detections) and
+        end-of-run occupancy.  None when no store is attached, keeping
+        the historical summary schema."""
+        if self.store is None:
+            return None
+        delta = {
+            name: value - self._store_base.get(name, 0)
+            for name, value in self.store.counters().items()
+        }
+        total = self._store_hits + self._store_misses
+        return OrderedDict(
+            [
+                ("hits", self._store_hits),
+                ("misses", self._store_misses),
+                ("hit_rate",
+                 round(self._store_hits / total, 9) if total else 0.0),
+                ("coalesced", self._store_coalesced),
+                ("chain_hits", delta["hits"]),
+                ("chain_misses", delta["misses"]),
+                ("puts", delta["puts"]),
+                ("evictions", delta["evictions"]),
+                ("invalidations", delta["invalidations"]),
+                ("degraded_rejected", delta["degraded_rejected"]),
+                ("corruption_detected", delta["corruption_detected"]),
+                ("leases_acquired", self._leases.acquired),
+                ("leases_contended", self._leases.contended),
+                ("entries", len(self.store)),
+                ("total_bytes", self.store.total_bytes),
+            ]
+        )
 
     def _push(self, kind: int, when: float, payload: object) -> None:
         """Schedule an event; (time, kind, seq) ordering keeps the
@@ -419,7 +480,16 @@ class ServingGateway:
                 _EV_TIMEOUT, now + cfg.timeout_seconds,
                 (request, request.attempts),
             )
-        key = chain_content_key(request.sample.assembly)
+        self._route(request)
+
+    def _route(self, request: ServingRequest) -> None:
+        """Route one admitted (or re-released) request to its cheapest
+        source of MSA features, in priority order: in-memory cache hit,
+        same-key in-flight coalesce, disk-store hit, chain-level lease
+        subscription, and finally leading a new scan.  Re-entrant: a
+        store waiter re-routes here when its leader finishes."""
+        now = self._now
+        key = request.content_key()
         cached = self._cache.lookup(key)
         if cached is not None:
             request.msa_cache_hit = True
@@ -430,13 +500,59 @@ class ServingGateway:
         if key in self._inflight:
             request.state = RequestState.WAIT_MSA_SHARED
             request.msa_coalesced = True
+            request.waiting_on_key = key
             self._waiters.setdefault(key, []).append(request)
             self._waiting_count += 1
             self._coalesced += 1
             self.probe.msa_wait_shared(request, now)
             return
+        chain_keys = request.chain_keys()
+        if self.store is not None and chain_keys:
+            missing = [
+                k for k in chain_keys if self.store.get(k) is None
+            ]
+            if not missing:
+                # Every chain's features are durably stored: the MSA
+                # phase collapses to a metadata read.  Depth comes from
+                # the cost model (cached per content key) so it is
+                # bit-identical to what a fresh scan would report, and
+                # the in-memory LRU is warmed for same-key followers.
+                request.msa_store_hit = True
+                self._store_hits += 1
+                cost = self.msa_cost_model.cost(request.sample)
+                request.msa_depth = cost.depth
+                self._cache.insert(
+                    key, CachedMsa(cost.seconds, cost.depth, degraded=False)
+                )
+                self.probe.store_hit(request, now)
+                self._to_batcher(request)
+                return
+            self._store_misses += 1
+            self.probe.store_miss(request, now)
+            owner = next(
+                (o for o in map(self._leases.owner_of, missing)
+                 if o is not None),
+                None,
+            )
+            if owner is not None:
+                # Another key's leader is already computing (some of)
+                # the missing chains: subscribe instead of duplicating
+                # the search, and re-route when that leader publishes.
+                request.state = RequestState.WAIT_MSA_SHARED
+                request.msa_coalesced = True
+                request.store_coalesced = True
+                request.waiting_on_key = owner
+                self._waiters.setdefault(owner, []).append(request)
+                self._waiting_count += 1
+                self._coalesced += 1
+                self._store_coalesced += 1
+                self.probe.store_wait_shared(request, now, owner)
+                return
         request.state = RequestState.QUEUED_MSA
+        request.waiting_on_key = None
         self._inflight[key] = request
+        if self.store is not None and chain_keys:
+            self._leases.acquire(chain_keys, key)
         self._msa_queue.push(request)
         self.probe.msa_queued(request, now)
         self._assign_msa()
@@ -457,7 +573,7 @@ class ServingGateway:
             request.msa_wait += self._now - request.stage_entered_at
             request.state = RequestState.IN_MSA
             cost = self.msa_cost_model.cost(request.sample)
-            key = chain_content_key(request.sample.assembly)
+            key = request.content_key()
             base_shards = 0
             checkpoint = self.checkpoints.take(key)
             if checkpoint is not None:
@@ -501,7 +617,7 @@ class ServingGateway:
         corrupted = bool(job and job[3])
         health.busy = False
         health.completions += 1
-        key = chain_content_key(request.sample.assembly)
+        key = request.content_key()
         self.probe.msa_finished(request, worker, self._now, corrupted)
         if corrupted:
             # The scan finished but its stream was corrupt: nothing it
@@ -523,18 +639,44 @@ class ServingGateway:
                 key,
                 CachedMsa(cost.seconds, cost.depth, degraded=False),
             )
+            if self.store is not None:
+                self._publish_chains(request)
+                self._leases.release(key)
             self._inflight.pop(key, None)
             self._to_batcher(request)
             for waiter in self._waiters.pop(key, []):
                 self._waiting_count -= 1
-                waiter.msa_depth = request.msa_depth
                 waiter.msa_wait += self._now - waiter.stage_entered_at
-                self.probe.msa_waiter_released(waiter, self._now)
-                self._to_batcher(waiter)
+                waiter.waiting_on_key = None
+                if waiter.store_coalesced:
+                    # A chain-level subscriber: the leader's chains are
+                    # in the store now, but the waiter's own assembly
+                    # may still need others — send it back through the
+                    # router (store hit, new subscription, or its own
+                    # scan).
+                    waiter.stage_entered_at = self._now
+                    self.probe.store_waiter_released(waiter, self._now)
+                    self._route(waiter)
+                else:
+                    waiter.msa_depth = request.msa_depth
+                    self.probe.msa_waiter_released(waiter, self._now)
+                    self._to_batcher(waiter)
         if health.up and health.breaker.allows_dispatch:
             self._free_msa.append(worker)
             self._free_msa.sort()
         self._assign_msa()
+
+    def _publish_chains(self, request: ServingRequest) -> None:
+        """Persist the finished scan's per-chain features to the store.
+
+        Payloads are pure functions of chain content, so a re-publish
+        of an unchanged chain rewrites identical bytes (no invalidation
+        counted) and an offline precompute fill is bit-identical to a
+        gateway fill.
+        """
+        chains = request.sample.assembly.msa_chains()
+        for chain_key, chain in zip(request.chain_keys(), chains):
+            self.store.put(chain_key, chain_store_payload(chain))
 
     # -- the GPU stage --------------------------------------------------
 
@@ -678,12 +820,15 @@ class ServingGateway:
         if request.attempts != attempt or not request.state.waiting:
             return
         cfg, now = self.config, self._now
-        key = chain_content_key(request.sample.assembly)
+        key = request.content_key()
         if request.state is RequestState.QUEUED_MSA:
             self._msa_queue.note_removed()
             self._relinquish_leadership(request, key)
         elif request.state is RequestState.WAIT_MSA_SHARED:
-            self._waiters[key].remove(request)
+            # Store-coalesced waiters queue under their *leader's* key,
+            # not their own — waiting_on_key remembers which.
+            self._waiters[request.waiting_on_key or key].remove(request)
+            request.waiting_on_key = None
             self._waiting_count -= 1
         elif request.state is RequestState.QUEUED_BATCH:
             self._batcher.remove(request)
@@ -720,20 +865,40 @@ class ServingGateway:
         self._to_batcher(request)
 
     def _relinquish_leadership(self, request: ServingRequest, key: str) -> None:
-        """A queued MSA leader left; promote a waiter or drop the key."""
+        """A queued MSA leader left; promote a waiter or drop the key.
+
+        Only a *same-key* waiter can inherit the scan (a chain-level
+        subscriber's assembly is different content); with no successor
+        the key's leases are released and any store subscribers are
+        re-routed — one of them becomes a leader in its own right.
+        """
         if self._inflight.get(key) is not request:
             return
         waiters = self._waiters.get(key, [])
-        if waiters:
-            successor = waiters.pop(0)
+        successor = next(
+            (w for w in waiters if not w.store_coalesced), None
+        )
+        if successor is not None:
+            waiters.remove(successor)
             self._waiting_count -= 1
             successor.state = RequestState.QUEUED_MSA
+            successor.waiting_on_key = None
             self._inflight[key] = successor
             self._msa_queue.push(successor)
             self.probe.msa_leader_promoted(successor, self._now)
             self._assign_msa()
         else:
             del self._inflight[key]
+            orphans = self._waiters.pop(key, [])
+            if self.store is not None:
+                self._leases.release(key)
+            for waiter in orphans:
+                self._waiting_count -= 1
+                waiter.msa_wait += self._now - waiter.stage_entered_at
+                waiter.stage_entered_at = self._now
+                waiter.waiting_on_key = None
+                self.probe.store_waiter_released(waiter, self._now)
+                self._route(waiter)
 
     # -- fault injection and recovery -----------------------------------
 
@@ -753,6 +918,8 @@ class ServingGateway:
             applied = self._db_corruption(event)
         elif kind is FaultKind.SLOW_NODE:
             applied = self._slow_node(event)
+        elif kind is FaultKind.STORE_CORRUPTION:
+            applied = self._store_corruption(event)
         else:   # pragma: no cover - exhaustive over FaultKind
             applied = False
         if applied:
@@ -881,7 +1048,7 @@ class ServingGateway:
         else:
             completed = 0
         self.probe.msa_aborted(request, worker, self._now, completed)
-        key = chain_content_key(request.sample.assembly)
+        key = request.content_key()
         cost = self.msa_cost_model.cost(request.sample)
         if completed > 0:
             self.checkpoints.save(key, MsaCheckpoint(
@@ -971,6 +1138,28 @@ class ServingGateway:
         )
         return True
 
+    def _store_corruption(self, event: FaultEvent) -> bool:
+        """Tamper one persisted feature-store entry on disk.
+
+        The target key is a deterministic function of the event (so
+        seeded chaos runs reproduce), chosen from whatever the store
+        holds at strike time.  Detection happens at the next read: the
+        checksum fails, the entry is invalidated, and the requesting
+        pair re-leads a scan — corrupt features are never served.
+        """
+        if self.store is None or len(self.store) == 0:
+            return False
+        keys = self.store.keys()
+        key = keys[(event.event_id * 7919 + event.worker) % len(keys)]
+        if not self.store.corrupt(key):   # pragma: no cover - key held
+            return False
+        self.fault_stats.store_corruptions += 1
+        self.probe.fault_instant(
+            event.domain, event.worker, "store_corruption", self._now,
+            key=key,
+        )
+        return True
+
     def _slow_node(self, event: FaultEvent) -> bool:
         """Degrade the worker by ``magnitude``x for the event window
         (thermal throttling / noisy neighbour); scans and batches
@@ -1044,7 +1233,11 @@ def serving_trace(requests: Sequence[ServingRequest]) -> WorkloadTrace:
             trace.add(
                 OpRecord.wait(tag, "serving.stall", request.msa_stall_wait)
             )
-        if not request.msa_cache_hit and not request.msa_coalesced:
+        if (
+            not request.msa_cache_hit
+            and not request.msa_coalesced
+            and not request.msa_store_hit
+        ):
             trace.add(OpRecord(
                 function=tag, phase="serving.msa",
                 resource=Resource.CPU, seconds=request.msa_seconds,

@@ -123,6 +123,11 @@ class ServingReport:
     #: plus plan metadata); None when the run had no fault plan, so
     #: fault-free summaries keep their historical schema exactly.
     fault_summary: Optional[Dict[str, object]] = None
+    #: Disk feature-store counters (hits/misses/coalesced plus the
+    #: store's own delta counters for this run); None when the gateway
+    #: ran without a store, so store-less summaries keep their
+    #: historical schema exactly.
+    store_summary: Optional[Dict[str, object]] = None
 
     @property
     def throughput_rps(self) -> float:
@@ -160,6 +165,8 @@ class ServingReport:
             cache_hit_rate=round(self.cache_hit_rate, 6),
             coalesced_msa=self.coalesced_msa,
         )
+        if self.store_summary is not None:
+            out["store"] = self.store_summary
         if self.fault_summary is not None:
             out["faults"] = self.fault_summary
         return out
@@ -201,6 +208,17 @@ class ServingReport:
                 f"{self.oom_events} OOM events, "
                 f"{self.degraded} degraded (reduced-depth) responses"
             )
+        if self.store_summary is not None:
+            st = self.store_summary
+            lines.append(
+                f"  store      : {st.get('hits', 0)} hits / "
+                f"{st.get('misses', 0)} misses "
+                f"({100 * st.get('hit_rate', 0.0):.0f} % hit rate, "
+                f"{st.get('coalesced', 0)} coalesced on leases), "
+                f"{st.get('puts', 0)} puts, "
+                f"{st.get('evictions', 0)} evictions, "
+                f"{st.get('corruption_detected', 0)} corrupt reads"
+            )
         if self.fault_summary is not None:
             f = self.fault_summary
             lines.append(
@@ -232,6 +250,7 @@ def build_report(
     retries: int,
     oom_events: int,
     fault_summary: Optional[Dict[str, object]] = None,
+    store_summary: Optional[Dict[str, object]] = None,
 ) -> ServingReport:
     """Assemble the report from the finished request ledger plus the
     gateway's run counters.  Latency sections cover full-quality
@@ -283,4 +302,5 @@ def build_report(
         coalesced_msa=coalesced_msa,
         requests=list(requests),
         fault_summary=fault_summary,
+        store_summary=store_summary,
     )

@@ -17,6 +17,7 @@ from typing import Callable, Deque, Iterable, List, Optional, Sequence
 
 from ..core.server import bucket_for
 from ..sequences.sample import InputSample
+from .cache import chain_content_key, chain_feature_key
 
 
 class RequestState(enum.Enum):
@@ -73,6 +74,9 @@ class ServingRequest:
     gpu_seconds: float = 0.0
     msa_cache_hit: bool = False
     msa_coalesced: bool = False
+    msa_store_hit: bool = False       # served from the disk feature store
+    store_coalesced: bool = False     # subscribed to another key's leader
+    waiting_on_key: Optional[str] = None  # leader key while shared-waiting
     msa_depth: int = 128
     batch_size: int = 0
     completion_seconds: Optional[float] = None
@@ -83,6 +87,28 @@ class ServingRequest:
     rewarm_seconds: float = 0.0       # crash-recovery cold start it paid
     msa_stall_wait: float = 0.0       # injected DB read stalls endured
     resumed_shards: int = 0           # DB shards its resumes skipped
+    # -- memoised content keys (sha256 digests, hot at 10^5 scale) ----
+    _content_key: Optional[str] = dataclasses.field(
+        default=None, repr=False, compare=False
+    )
+    _chain_keys: Optional[tuple] = dataclasses.field(
+        default=None, repr=False, compare=False
+    )
+
+    def content_key(self) -> str:
+        """Assembly content key (memoised sha256 digest)."""
+        if self._content_key is None:
+            self._content_key = chain_content_key(self.sample.assembly)
+        return self._content_key
+
+    def chain_keys(self) -> tuple:
+        """Per-chain feature-store keys of the MSA-phase chains."""
+        if self._chain_keys is None:
+            self._chain_keys = tuple(
+                chain_feature_key(chain)
+                for chain in self.sample.assembly.msa_chains()
+            )
+        return self._chain_keys
 
     @property
     def num_tokens(self) -> int:

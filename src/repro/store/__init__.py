@@ -1,0 +1,63 @@
+"""repro.store: durable content-addressed MSA/feature storage.
+
+The disk tier under the serving gateway's in-memory
+:class:`~repro.serving.MsaResultCache`: entries keyed by chain
+content survive across processes and runs, so an N-chain all-vs-all
+screening campaign pays N MSA searches for N² pair requests
+(AF_Cache's observation, on ParaFold's CPU/GPU split).
+
+Modules:
+
+* :mod:`repro.store.feature_store` — the store itself (atomic
+  write-then-rename objects, checksum verification, byte-bounded LRU
+  with an on-disk index);
+* :mod:`repro.store.sharding` — deterministic key-range sharding for
+  multi-worker fill campaigns;
+* :mod:`repro.store.coalesce` — chain-level in-flight leases (one
+  worker computes, others subscribe);
+* :mod:`repro.store.precompute` — the offline ``msa-precompute`` job
+  (loaded lazily; it pulls in :mod:`repro.parallel` and the serving
+  payload helpers).
+"""
+
+from .coalesce import InflightLeases
+from .feature_store import DEFAULT_BYTE_BUDGET, FeatureStore, payload_checksum
+from .sharding import (
+    SHARD_SPACE,
+    partition_keys,
+    shard_counts,
+    shard_for,
+    shard_ranges,
+)
+
+_PRECOMPUTE_EXPORTS = {
+    "PrecomputeReport",
+    "collect_chains",
+    "precompute_msas",
+}
+
+__all__ = [
+    "DEFAULT_BYTE_BUDGET",
+    "FeatureStore",
+    "InflightLeases",
+    "PrecomputeReport",
+    "SHARD_SPACE",
+    "collect_chains",
+    "partition_keys",
+    "payload_checksum",
+    "precompute_msas",
+    "shard_counts",
+    "shard_for",
+    "shard_ranges",
+]
+
+
+def __getattr__(name):
+    # Lazy: precompute imports repro.parallel and (at call time) the
+    # serving payload helpers; keeping it out of package import keeps
+    # repro.serving <-> repro.store acyclic at import time.
+    if name in _PRECOMPUTE_EXPORTS:
+        from . import precompute
+
+        return getattr(precompute, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

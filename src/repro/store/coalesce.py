@@ -1,0 +1,76 @@
+"""Cluster-wide in-flight coalescing: one computes, others subscribe.
+
+The in-memory cache already coalesces *identical* assemblies onto one
+in-flight scan.  A screening campaign needs the chain-level version:
+when a leader is computing MSAs for chains A and B, a later pair (A, C)
+should not start a second search for A — it subscribes to the leader
+and re-routes once the leader's chains land in the store.
+
+:class:`InflightLeases` is the bookkeeping: a chain key is *leased* to
+the owner token (the leader's assembly content key) that is currently
+computing it.  Pure in-memory bookkeeping with deterministic iteration
+order — the serving simulation's goldens depend on it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+__all__ = ["InflightLeases"]
+
+
+class InflightLeases:
+    """chain key -> owner token for scans currently in flight."""
+
+    def __init__(self) -> None:
+        self._owner_of: Dict[str, str] = {}
+        self._chains_of: Dict[str, List[str]] = {}
+        self.acquired = 0
+        self.released = 0
+        self.contended = 0  # acquire attempts that met an incumbent
+
+    def acquire(self, chain_keys: Iterable[str], owner: str) -> List[str]:
+        """Lease every not-yet-leased key to ``owner``.
+
+        Returns the keys actually acquired; keys already leased stay
+        with their incumbent (the caller subscribes instead of
+        recomputing — that is the whole point).
+        """
+        got: List[str] = []
+        for key in chain_keys:
+            current = self._owner_of.get(key)
+            if current is not None:
+                if current != owner:
+                    self.contended += 1
+                continue
+            self._owner_of[key] = owner
+            got.append(key)
+        if got:
+            self._chains_of.setdefault(owner, []).extend(got)
+            self.acquired += len(got)
+        return got
+
+    def owner_of(self, chain_key: str) -> Optional[str]:
+        return self._owner_of.get(chain_key)
+
+    def chains_of(self, owner: str) -> List[str]:
+        return list(self._chains_of.get(owner, []))
+
+    def release(self, owner: str) -> List[str]:
+        """Drop every lease held by ``owner`` (scan finished or gave
+        up); returns the freed chain keys."""
+        freed = self._chains_of.pop(owner, [])
+        for key in freed:
+            self._owner_of.pop(key, None)
+        self.released += len(freed)
+        return freed
+
+    def owners(self) -> List[str]:
+        return list(self._chains_of)
+
+    def __len__(self) -> int:
+        """Number of chain keys currently leased."""
+        return len(self._owner_of)
+
+    def __contains__(self, chain_key: str) -> bool:
+        return chain_key in self._owner_of

@@ -1,0 +1,158 @@
+"""Offline ``msa-precompute``: bulk-fill the store before inference.
+
+ParaFold's core observation is that the CPU-bound MSA stage and the
+GPU-bound inference stage have no reason to share a machine or a
+moment in time.  A screening campaign therefore runs in two waves:
+an offline precompute job walks the target list, deduplicates chains
+by content key, and fills the :class:`~repro.store.FeatureStore`; the
+inference wave then serves almost entirely from store hits.
+
+The job is checkpointed *by the store itself*: every completed chain
+is durably persisted before the next one is considered, and a
+restarted campaign skips any key the store already holds — killing
+the job mid-run wastes at most the in-flight shard, and recomputes
+zero already-stored MSAs.  Work is split across workers with the
+deterministic key-range sharding of :mod:`repro.store.sharding` and
+executed through :func:`repro.parallel.run_sharded`, so the fill is
+byte-identical for any worker count or backend.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import OrderedDict
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..parallel import ExecutionPlan, run_sharded
+from ..sequences.chain import Chain
+from ..sequences.sample import InputSample
+from .feature_store import FeatureStore
+from .sharding import shard_for
+
+__all__ = ["PrecomputeReport", "collect_chains", "precompute_msas"]
+
+
+def collect_chains(
+    samples: Iterable[InputSample],
+) -> "OrderedDict[str, Chain]":
+    """Distinct MSA-phase chains across ``samples``, keyed by content.
+
+    First occurrence wins; order is deterministic (sample order, then
+    chain order within the assembly), which keeps the precompute job's
+    shard contents reproducible.
+    """
+    from ..serving.cache import chain_feature_key
+
+    jobs: "OrderedDict[str, Chain]" = OrderedDict()
+    for sample in samples:
+        for chain in sample.assembly.msa_chains():
+            key = chain_feature_key(chain)
+            if key not in jobs:
+                jobs[key] = chain
+    return jobs
+
+
+def _compute_shard(payload) -> List[Tuple[str, dict]]:
+    """One worker's shard: (key, type, sequence) -> (key, payload).
+
+    Module-level and pure so every backend (serial/thread/process)
+    produces identical results — the store contents must not depend on
+    how the campaign was scheduled.
+    """
+    from ..sequences.alphabets import MoleculeType
+    from ..serving.cache import chain_store_payload
+
+    out: List[Tuple[str, dict]] = []
+    for key, molecule_type, sequence in payload:
+        chain = Chain(
+            chain_id="A",
+            molecule_type=MoleculeType(molecule_type),
+            sequence=sequence,
+        )
+        out.append((key, chain_store_payload(chain)))
+    return out
+
+
+@dataclasses.dataclass(frozen=True)
+class PrecomputeReport:
+    """What one precompute campaign did (and could skip)."""
+
+    requested_samples: int
+    distinct_chains: int
+    already_stored: int
+    computed: int
+    stored: int
+    num_shards: int
+    shard_sizes: Tuple[int, ...]
+    backend: str
+    wall_seconds: float
+
+    def summary(self) -> "OrderedDict[str, object]":
+        return OrderedDict(
+            [
+                ("requested_samples", self.requested_samples),
+                ("distinct_chains", self.distinct_chains),
+                ("already_stored", self.already_stored),
+                ("computed", self.computed),
+                ("stored", self.stored),
+                ("num_shards", self.num_shards),
+                ("shard_sizes", list(self.shard_sizes)),
+                ("backend", self.backend),
+            ]
+        )
+
+    def render(self) -> str:
+        s = self.summary()
+        return (
+            f"msa-precompute: {s['distinct_chains']} distinct chains from "
+            f"{s['requested_samples']} samples | "
+            f"{s['already_stored']} already stored, {s['computed']} computed "
+            f"({s['stored']} stored) across {s['num_shards']} shards "
+            f"[{s['backend']}]"
+        )
+
+
+def precompute_msas(
+    samples: Sequence[InputSample],
+    store: FeatureStore,
+    plan: Optional[ExecutionPlan] = None,
+) -> PrecomputeReport:
+    """Fill ``store`` with every chain the campaign will need.
+
+    Keys the store already holds are skipped without recomputation —
+    rerunning after a crash (or topping up an enlarged target list)
+    only pays for what is missing.
+    """
+    plan = plan or ExecutionPlan(workers=1, backend="serial")
+    samples = list(samples)
+    jobs = collect_chains(samples)
+    pending = OrderedDict(
+        (key, chain) for key, chain in jobs.items() if key not in store
+    )
+    shards: List[List[Tuple[str, str, Optional[str]]]] = [
+        [] for _ in range(plan.workers)
+    ]
+    for key, chain in pending.items():
+        shards[shard_for(key, plan.workers)].append(
+            (key, chain.molecule_type.value, chain.sequence)
+        )
+    outcome = run_sharded(
+        _compute_shard, shards, plan, default_backend="thread"
+    )
+    stored = 0
+    for shard_result in outcome.results:
+        for key, payload in shard_result:
+            if store.put(key, payload):
+                stored += 1
+    store.sync()
+    return PrecomputeReport(
+        requested_samples=len(samples),
+        distinct_chains=len(jobs),
+        already_stored=len(jobs) - len(pending),
+        computed=len(pending),
+        stored=stored,
+        num_shards=plan.workers,
+        shard_sizes=tuple(len(s) for s in shards),
+        backend=outcome.backend,
+        wall_seconds=outcome.wall_seconds,
+    )

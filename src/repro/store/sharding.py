@@ -1,0 +1,64 @@
+"""Deterministic key-range sharding for store fill jobs.
+
+A precompute campaign splits its distinct chain keys across workers.
+The assignment must be a *partition* (every key to exactly one shard)
+and must be stable across processes and runs — a restarted campaign
+has to agree with its previous self about who owns what, with no
+coordination service.  Hashing the content key's leading 32 bits into
+``num_shards`` equal ranges gives both properties for free: the key is
+already a uniform sha256 digest, so ranges balance without rehashing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["SHARD_SPACE", "partition_keys", "shard_for", "shard_ranges"]
+
+#: The leading 8 hex chars of a key span [0, 2^32).
+SHARD_SPACE = 0x100000000
+
+
+def shard_for(key: str, num_shards: int) -> int:
+    """The one shard (in ``range(num_shards)``) that owns ``key``.
+
+    Pure function of the key text — stable across processes, Python
+    versions and hash seeds (no builtin ``hash``).
+    """
+    if num_shards < 1:
+        raise ValueError("num_shards must be >= 1")
+    prefix = int(key[:8], 16)
+    return prefix * num_shards // SHARD_SPACE
+
+
+def shard_ranges(num_shards: int) -> List[Tuple[int, int]]:
+    """Per-shard ``[lo, hi)`` bounds over the 32-bit prefix space.
+
+    ``shard_for(key, n) == i`` exactly when
+    ``ranges[i][0] <= int(key[:8], 16) < ranges[i][1]``.
+    """
+    if num_shards < 1:
+        raise ValueError("num_shards must be >= 1")
+    edges = [
+        -(-i * SHARD_SPACE // num_shards) for i in range(num_shards + 1)
+    ]
+    return [(edges[i], edges[i + 1]) for i in range(num_shards)]
+
+
+def partition_keys(
+    keys: Sequence[str], num_shards: int
+) -> List[List[str]]:
+    """Split ``keys`` into ``num_shards`` lists by :func:`shard_for`,
+    preserving input order within each shard."""
+    shards: List[List[str]] = [[] for _ in range(num_shards)]
+    for key in keys:
+        shards[shard_for(key, num_shards)].append(key)
+    return shards
+
+
+def shard_counts(keys: Sequence[str], num_shards: int) -> Dict[int, int]:
+    """How many of ``keys`` each shard owns (zero entries included)."""
+    counts = {i: 0 for i in range(num_shards)}
+    for key in keys:
+        counts[shard_for(key, num_shards)] += 1
+    return counts

@@ -24,6 +24,7 @@ DOCS = REPO / "docs"
 EXECUTABLE_DOCS = [
     DOCS / "observability.md",
     DOCS / "metrics_reference.md",
+    DOCS / "feature_store.md",
     DOCS / "parallelism.md",
     DOCS / "kernels.md",
 ]
@@ -89,3 +90,4 @@ class TestIntraRepoLinks:
         assert "docs/metrics_reference.md" in readme
         assert "docs/parallelism.md" in readme
         assert "docs/kernels.md" in readme
+        assert "docs/feature_store.md" in readme
