@@ -315,6 +315,11 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         db_stalls=args.db_stalls,
         db_corruptions=args.db_corruptions,
         slow_nodes=args.slow_nodes,
+        preemption_notices=args.preemption_notices,
+        kinds=(
+            tuple(k.strip() for k in args.kinds.split(",") if k.strip())
+            if args.kinds else None
+        ),
         restart_seconds=args.restart,
         breaker_failure_threshold=args.breaker_threshold,
         breaker_cooldown_seconds=args.breaker_cooldown,
@@ -339,6 +344,92 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     failing = [str(s) for s, r in results.items() if not r.ok]
     print(
         f"chaos: invariant violation or nondeterminism on "
+        f"seed(s) {', '.join(failing)}",
+        file=sys.stderr,
+    )
+    return 4
+
+
+def _cluster_chaos_config(args: argparse.Namespace, policy: str, seed: int):
+    from .cluster import ClusterChaosConfig
+
+    return ClusterChaosConfig(
+        seed=seed,
+        num_jobs=args.jobs,
+        num_chains=args.chains,
+        arrival_rate_per_hour=args.rate,
+        policy=policy,
+        migration=not args.no_migration,
+        max_attempts=args.max_attempts,
+        preemption_notices=args.preemption_notices,
+        crashes=args.crashes,
+        preemptions=args.preemptions,
+        slow_nodes=args.slow_nodes,
+        store_corruptions=args.store_corruptions,
+        kinds=(
+            tuple(k.strip() for k in args.kinds.split(",") if k.strip())
+            if getattr(args, "kinds", None) else None
+        ),
+    )
+
+
+def cmd_cluster_sim(args: argparse.Namespace) -> int:
+    from collections import OrderedDict
+
+    from .cluster import render_pareto_table, pareto_rows
+    from .cluster.chaos import _run_once
+
+    reports = OrderedDict()
+    for policy in args.policies:
+        config = _cluster_chaos_config(args, policy, args.seed)
+        _scheduler, report, _plan = _run_once(config)
+        reports[policy] = report
+    if args.format == "json":
+        print(json.dumps(OrderedDict(
+            seed=args.seed,
+            jobs=args.jobs,
+            migration=not args.no_migration,
+            pareto=pareto_rows(list(reports.values())),
+            policies=OrderedDict(
+                (name, r.summary()) for name, r in reports.items()
+            ),
+        ), indent=2))
+    else:
+        for report in reports.values():
+            print(report.render())
+            print()
+        if len(reports) > 1:
+            print(render_pareto_table(list(reports.values())))
+    return 0
+
+
+def cmd_cluster_chaos(args: argparse.Namespace) -> int:
+    import dataclasses as _dc
+
+    from .cluster import run_cluster_campaign
+
+    seeds = tuple(args.seeds) if args.seeds else (args.seed,)
+    results = {}
+    for seed in seeds:
+        config = _cluster_chaos_config(args, args.policy, seed)
+        results[seed] = run_cluster_campaign(
+            config, check_determinism=not args.no_determinism_check
+        )
+    if args.format == "json":
+        print(json.dumps(
+            {str(seed): r.summary() for seed, r in results.items()},
+            indent=2,
+        ))
+    else:
+        for i, (seed, result) in enumerate(results.items()):
+            if i:
+                print()
+            print(result.render())
+    if all(r.ok for r in results.values()):
+        return 0
+    failing = [str(s) for s, r in results.items() if not r.ok]
+    print(
+        f"cluster-chaos: invariant violation or nondeterminism on "
         f"seed(s) {', '.join(failing)}",
         file=sys.stderr,
     )
@@ -691,6 +782,14 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--db-stalls", type=int, default=3)
     chaos.add_argument("--db-corruptions", type=int, default=2)
     chaos.add_argument("--slow-nodes", type=int, default=2)
+    chaos.add_argument("--preemption-notices", type=int, default=0,
+                       help="spot reclaim warnings (notice lead, then "
+                            "outage) to schedule")
+    chaos.add_argument("--kinds", default=None,
+                       help="comma-separated fault kinds to keep "
+                            "(e.g. worker_crash,db_read_stall); the "
+                            "seeded plan is generated in full and then "
+                            "filtered, isolating one kind for debugging")
     chaos.add_argument("--restart", type=float, default=300.0,
                        help="crashed-worker restart delay (s)")
     chaos.add_argument("--breaker-threshold", type=int, default=2,
@@ -709,6 +808,68 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--format", choices=["text", "json"],
                        default="text")
     chaos.set_defaults(func=cmd_chaos)
+
+    cluster_common = argparse.ArgumentParser(add_help=False)
+    cluster_common.add_argument("--jobs", type=int, default=60,
+                                help="jobs in the seeded PPI stream")
+    cluster_common.add_argument("--chains", type=int, default=24,
+                                help="size of the shared chain library")
+    cluster_common.add_argument("--rate", type=float, default=120.0,
+                                help="Poisson arrival rate in jobs/hour")
+    cluster_common.add_argument("--max-attempts", type=int, default=6,
+                                help="node assignments before a job fails")
+    cluster_common.add_argument("--no-migration", action="store_true",
+                                help="disable drain-time checkpoint/"
+                                     "publish (lose work like a crash); "
+                                     "use to measure what migration saves")
+    cluster_common.add_argument("--preemption-notices", type=int,
+                                default=10,
+                                help="spot reclaim warnings to schedule")
+    cluster_common.add_argument("--crashes", type=int, default=3,
+                                help="hard node crashes to schedule")
+    cluster_common.add_argument("--preemptions", type=int, default=2,
+                                help="zero-warning spot reclaims")
+    cluster_common.add_argument("--slow-nodes", type=int, default=2)
+    cluster_common.add_argument("--store-corruptions", type=int,
+                                default=3,
+                                help="feature-store entries to rot")
+    cluster_common.add_argument("--format", choices=["text", "json"],
+                                default="text")
+
+    cluster_sim = sub.add_parser(
+        "cluster-sim", parents=[cluster_common],
+        help="simulate the fault-tolerant cluster scheduler over a "
+             "heterogeneous fleet; with several --policies, emit the "
+             "cost/throughput/p99 Pareto table",
+    )
+    cluster_sim.add_argument(
+        "--policies", nargs="*",
+        default=["fixed", "queue-depth", "cost-aware"],
+        help="autoscaling policies to sweep (fixed, queue-depth, "
+             "aggressive, conservative, cost-aware)",
+    )
+    cluster_sim.set_defaults(func=cmd_cluster_sim, kinds=None)
+
+    cluster_chaos = sub.add_parser(
+        "cluster-chaos", parents=[cluster_common],
+        help="run seeded fault campaigns against the cluster scheduler "
+             "and audit no-job-lost / balanced-accounting / "
+             "no-double-execution / determinism invariants",
+    )
+    cluster_chaos.add_argument("--policy", default="queue-depth",
+                               help="autoscaling policy under test")
+    cluster_chaos.add_argument("--kinds", default=None,
+                               help="comma-separated fault kinds to keep "
+                                    "(plan generated in full, then "
+                                    "filtered)")
+    cluster_chaos.add_argument("--seeds", nargs="*", type=int,
+                               default=None,
+                               help="one campaign per seed (default: "
+                                    "the global --seed)")
+    cluster_chaos.add_argument("--no-determinism-check",
+                               action="store_true",
+                               help="skip the byte-identical rerun")
+    cluster_chaos.set_defaults(func=cmd_cluster_chaos)
 
     observe_common = argparse.ArgumentParser(add_help=False)
     observe_common.add_argument("--platform", default="Server",

@@ -1,0 +1,300 @@
+"""Cluster run reporting: cost, throughput, latency, and the audit
+counters the chaos harness pins.
+
+The report surface follows the serving gateway's golden-summary
+discipline: :meth:`ClusterReport.summary` is an ordered, rounded,
+JSON-stable dict, so two runs of the same seed serialize to the same
+bytes and a golden file can pin the whole surface.  The Pareto view
+(:func:`pareto_rows`) reduces one policy's run to the three axes the
+ROADMAP study compares — dollars, jobs/hour, p99 latency.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import OrderedDict
+from typing import Dict, List, Optional
+
+from ..serving.metrics import LatencyStats
+
+__all__ = [
+    "PoolReport",
+    "ClusterReport",
+    "build_cluster_report",
+    "pareto_rows",
+    "render_pareto_table",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class PoolReport:
+    """Billing and utilization of one node pool over the run."""
+
+    name: str
+    spot: bool
+    cost_per_hour: float
+    nodes_booted: int
+    nodes_terminated: int
+    peak_nodes: int
+    busy_seconds: float
+    billed_seconds: float
+    cost_usd: float
+
+    @property
+    def utilization(self) -> float:
+        """Busy fraction of billed node time (0 when never billed)."""
+        if self.billed_seconds <= 0:
+            return 0.0
+        return min(1.0, self.busy_seconds / self.billed_seconds)
+
+    def summary(self) -> "OrderedDict[str, object]":
+        return OrderedDict(
+            spot=self.spot,
+            nodes_booted=self.nodes_booted,
+            nodes_terminated=self.nodes_terminated,
+            peak_nodes=self.peak_nodes,
+            busy_seconds=round(self.busy_seconds, 6),
+            billed_seconds=round(self.billed_seconds, 6),
+            cost_usd=round(self.cost_usd, 6),
+            utilization=round(self.utilization, 6),
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class ClusterReport:
+    """Everything one cluster run reports (golden-test surface)."""
+
+    policy: str
+    duration_seconds: float
+    # -- jobs ------------------------------------------------------------
+    submitted: int
+    completed: int
+    failed: int
+    attempts: int
+    migrations: int
+    crash_requeues: int
+    # -- work accounting -------------------------------------------------
+    chains_total: int
+    chains_scanned: int
+    store_chain_hits: int
+    chains_published: int
+    resumed_shards: int
+    scan_seconds_billed: float
+    gpu_seconds_billed: float
+    # -- migration audit (the no-double-execution pins) ------------------
+    drain_publishes: int
+    drain_checkpoints: int
+    corrupted_keys: int
+    migrated_recomputed_chains: int
+    double_billed_shards: int
+    # -- fleet -----------------------------------------------------------
+    pools: Dict[str, PoolReport]
+    scale_outs: int
+    scale_ins: int
+    scale_in_terminations: int
+    cost_usd: float
+    # -- latency / faults ------------------------------------------------
+    latency: LatencyStats
+    queue_pushes: int
+    queue_requeues: int
+    faults: "OrderedDict[str, object]"
+    store_counters: Optional["OrderedDict[str, int]"]
+
+    @property
+    def throughput_jobs_per_hour(self) -> float:
+        if self.duration_seconds <= 0:
+            return 0.0
+        return self.completed * 3600.0 / self.duration_seconds
+
+    @property
+    def cost_per_job_usd(self) -> float:
+        if self.completed == 0:
+            return 0.0
+        return self.cost_usd / self.completed
+
+    def summary(self) -> "OrderedDict[str, object]":
+        """Rounded, ordered, JSON-stable summary (golden-test surface)."""
+        out = OrderedDict(
+            policy=self.policy,
+            duration_seconds=round(self.duration_seconds, 6),
+            submitted=self.submitted,
+            completed=self.completed,
+            failed=self.failed,
+            attempts=self.attempts,
+            migrations=self.migrations,
+            crash_requeues=self.crash_requeues,
+            chains_total=self.chains_total,
+            chains_scanned=self.chains_scanned,
+            store_chain_hits=self.store_chain_hits,
+            chains_published=self.chains_published,
+            resumed_shards=self.resumed_shards,
+            scan_seconds_billed=round(self.scan_seconds_billed, 6),
+            gpu_seconds_billed=round(self.gpu_seconds_billed, 6),
+            drain_publishes=self.drain_publishes,
+            drain_checkpoints=self.drain_checkpoints,
+            corrupted_keys=self.corrupted_keys,
+            migrated_recomputed_chains=self.migrated_recomputed_chains,
+            double_billed_shards=self.double_billed_shards,
+            scale_outs=self.scale_outs,
+            scale_ins=self.scale_ins,
+            scale_in_terminations=self.scale_in_terminations,
+            cost_usd=round(self.cost_usd, 6),
+            cost_per_job_usd=round(self.cost_per_job_usd, 6),
+            throughput_jobs_per_hour=round(
+                self.throughput_jobs_per_hour, 6
+            ),
+            queue_pushes=self.queue_pushes,
+            queue_requeues=self.queue_requeues,
+            latency=self.latency.as_dict(),
+            pools=OrderedDict(
+                (name, pool.summary())
+                for name, pool in self.pools.items()
+            ),
+            faults=self.faults,
+        )
+        if self.store_counters is not None:
+            out["store"] = self.store_counters
+        return out
+
+    def render(self) -> str:
+        """Human-readable run summary for the CLI."""
+        lines = [
+            f"cluster-sim  policy={self.policy}  "
+            f"duration={self.duration_seconds / 3600.0:.2f}h",
+            f"  jobs: {self.completed}/{self.submitted} completed, "
+            f"{self.failed} failed, {self.migrations} migrations, "
+            f"{self.crash_requeues} crash requeues",
+            f"  chains: {self.chains_scanned} scanned, "
+            f"{self.store_chain_hits} store hits, "
+            f"{self.resumed_shards} shards resumed "
+            f"({self.migrated_recomputed_chains} migrated recomputes, "
+            f"{self.double_billed_shards} double-billed shards)",
+            f"  cost: ${self.cost_usd:.2f} total, "
+            f"${self.cost_per_job_usd:.3f}/job, "
+            f"{self.throughput_jobs_per_hour:.2f} jobs/h, "
+            f"p99 {self.latency.p99 / 3600.0:.2f}h",
+        ]
+        for name, pool in self.pools.items():
+            lines.append(
+                f"    {name:<16} {pool.nodes_booted} booted / "
+                f"{pool.nodes_terminated} gone, peak {pool.peak_nodes}, "
+                f"util {pool.utilization * 100.0:5.1f}%, "
+                f"${pool.cost_usd:.2f}"
+            )
+        return "\n".join(lines)
+
+
+def build_cluster_report(scheduler, duration_seconds: float) -> ClusterReport:
+    """Assemble the report from a finished scheduler's state."""
+    cfg = scheduler.config
+    pools: "OrderedDict[str, PoolReport]" = OrderedDict()
+    for spec in cfg.pools:
+        mine = [n for n in scheduler.nodes if n.pool.name == spec.name]
+        billed = sum(n.billed_seconds(duration_seconds) for n in mine)
+        pools[spec.name] = PoolReport(
+            name=spec.name,
+            spot=spec.spot,
+            cost_per_hour=spec.cost_per_hour,
+            nodes_booted=len(mine),
+            nodes_terminated=sum(1 for n in mine if not n.alive),
+            peak_nodes=_peak_concurrent(mine, duration_seconds),
+            busy_seconds=scheduler._pool_busy[spec.name],
+            billed_seconds=billed,
+            cost_usd=billed * spec.cost_per_hour / 3600.0,
+        )
+    jobs = scheduler.completed_jobs + scheduler.failed_jobs
+    ledger = scheduler.ledger
+    return ClusterReport(
+        policy=scheduler.policy.name,
+        duration_seconds=duration_seconds,
+        submitted=len(jobs),
+        completed=len(scheduler.completed_jobs),
+        failed=len(scheduler.failed_jobs),
+        attempts=sum(j.attempts for j in jobs),
+        migrations=sum(j.migrations for j in jobs),
+        crash_requeues=sum(j.crash_requeues for j in jobs),
+        chains_total=sum(len(j.chains) for j in jobs),
+        chains_scanned=sum(j.chains_scanned for j in jobs),
+        store_chain_hits=scheduler.store_chain_hits,
+        chains_published=scheduler.chains_published,
+        resumed_shards=sum(j.resumed_shards for j in jobs),
+        scan_seconds_billed=sum(j.scan_seconds_billed for j in jobs),
+        gpu_seconds_billed=sum(j.gpu_seconds_billed for j in jobs),
+        drain_publishes=ledger.drain_publishes,
+        drain_checkpoints=ledger.drain_checkpoints,
+        corrupted_keys=ledger.corrupted_keys,
+        migrated_recomputed_chains=ledger.migrated_recomputed_chains,
+        double_billed_shards=ledger.double_billed_shards,
+        pools=pools,
+        scale_outs=scheduler.autoscaler.scale_outs,
+        scale_ins=scheduler.autoscaler.scale_ins,
+        scale_in_terminations=scheduler.scale_in_terminations,
+        cost_usd=sum(p.cost_usd for p in pools.values()),
+        latency=LatencyStats.of(sorted(
+            j.latency_seconds() for j in scheduler.completed_jobs
+        )),
+        queue_pushes=scheduler.queue.pushes,
+        queue_requeues=scheduler.queue.requeues,
+        faults=scheduler.fault_stats.as_dict(),
+        store_counters=(
+            scheduler.store.counters()
+            if scheduler.store is not None else None
+        ),
+    )
+
+
+def _peak_concurrent(nodes, duration_seconds: float) -> int:
+    """Max simultaneously-alive nodes (sweep over boot/term edges)."""
+    edges: List = []
+    for node in nodes:
+        edges.append((node.booted_at, 1))
+        end = (
+            node.terminated_at
+            if node.terminated_at is not None else duration_seconds
+        )
+        edges.append((end, -1))
+    edges.sort()
+    peak = alive = 0
+    for _, delta in edges:
+        alive += delta
+        peak = max(peak, alive)
+    return peak
+
+
+def pareto_rows(reports: List[ClusterReport]) -> List["OrderedDict[str, object]"]:
+    """One row per policy on the cost / throughput / latency axes."""
+    return [
+        OrderedDict(
+            policy=r.policy,
+            cost_usd=round(r.cost_usd, 6),
+            cost_per_job_usd=round(r.cost_per_job_usd, 6),
+            throughput_jobs_per_hour=round(
+                r.throughput_jobs_per_hour, 6
+            ),
+            p99_latency_hours=round(r.latency.p99 / 3600.0, 6),
+            completed=r.completed,
+            failed=r.failed,
+            migrations=r.migrations,
+        )
+        for r in reports
+    ]
+
+
+def render_pareto_table(reports: List[ClusterReport]) -> str:
+    """Fixed-width Pareto table for the CLI."""
+    header = (
+        f"{'policy':<14} {'cost $':>10} {'$/job':>8} "
+        f"{'jobs/h':>8} {'p99 h':>8} {'done':>5} {'fail':>5} "
+        f"{'migr':>5}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in pareto_rows(reports):
+        lines.append(
+            f"{row['policy']:<14} {row['cost_usd']:>10.2f} "
+            f"{row['cost_per_job_usd']:>8.3f} "
+            f"{row['throughput_jobs_per_hour']:>8.2f} "
+            f"{row['p99_latency_hours']:>8.3f} "
+            f"{row['completed']:>5d} {row['failed']:>5d} "
+            f"{row['migrations']:>5d}"
+        )
+    return "\n".join(lines)

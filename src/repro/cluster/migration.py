@@ -1,0 +1,124 @@
+"""Checkpointed job migration and the no-double-execution ledger.
+
+Migration is what turns a spot reclaim from lost work into a queue
+hop: during the notice lead the draining node *publishes* every chain
+it finished to the shared feature store and *checkpoints* the shards
+of the chain in flight, so the requeued job resumes on another node
+reading features instead of recomputing them.
+
+The :class:`MigrationLedger` is the audit side: it tracks which chain
+keys are durably trusted cluster-wide, what each drain saved, and —
+when the job later resumes — whether any saved work got billed a
+second time.  The chaos harness pins both counters at zero under
+preemption + crash + store-corruption faults:
+
+* ``migrated_recomputed_chains`` — a migrated job re-ran a full chain
+  scan it had already completed before the drain;
+* ``double_billed_shards`` — shards a drain checkpointed that a
+  resume then re-scanned anyway.
+
+Corruption is the legitimate exception the ledger must not flag: a
+store entry that rots after publication *must* be recomputed, so keys
+reported corrupt are struck from the trusted set (and from any drain
+banking that depended on them) before the recompute happens.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set, Tuple
+
+from .jobs import ChainStatus, ClusterJob
+
+__all__ = ["MigrationLedger"]
+
+
+class MigrationLedger:
+    """Cluster-wide durable-work bookkeeping for the double-bill audit."""
+
+    def __init__(self) -> None:
+        #: Chain keys currently trusted in the shared store.
+        self._durable: Set[str] = set()
+        #: Keys struck by store corruption (kept for reporting).
+        self._corrupted: Set[str] = set()
+        #: (job_id, key) -> shards banked by the drain checkpoint.
+        self._banked_shards: Dict[Tuple[int, str], int] = {}
+        #: (job_id, key) pairs completed before the job's last drain.
+        self._drained_complete: Set[Tuple[int, str]] = set()
+        # -- counters (report surface) ----------------------------------
+        self.drain_publishes = 0      # chains published during drains
+        self.drain_checkpoints = 0    # in-flight chains checkpointed
+        self.corrupted_keys = 0
+        self.double_billed_shards = 0
+        self.migrated_recomputed_chains = 0
+
+    # -- durable-key tracking -------------------------------------------
+
+    def mark_durable(self, key: str) -> None:
+        self._durable.add(key)
+        self._corrupted.discard(key)
+
+    def mark_untrusted(self, key: str) -> None:
+        """A published entry can no longer be served (corruption or
+        eviction): recomputing it is legitimate, not double billing."""
+        if key in self._durable:
+            self._durable.discard(key)
+            self._corrupted.add(key)
+            self.corrupted_keys += 1
+            # Work banked against the rotten key is forfeit too.
+            self._drained_complete = {
+                pair for pair in self._drained_complete
+                if pair[1] != key
+            }
+            for pair in [
+                p for p in self._banked_shards if p[1] == key
+            ]:
+                del self._banked_shards[pair]
+
+    def is_durable(self, key: str) -> bool:
+        return key in self._durable
+
+    # -- drain-time banking ---------------------------------------------
+
+    def record_drain(
+        self, job: ClusterJob,
+        checkpointed_key: str = "", checkpointed_shards: int = 0,
+    ) -> None:
+        """Bank what a drain saved for ``job``: every chain already
+        complete (local-published or durable) plus the checkpointed
+        shards of the in-flight chain."""
+        for work in job.chains:
+            if work.status in (ChainStatus.LOCAL, ChainStatus.DURABLE):
+                self._drained_complete.add((job.job_id, work.key))
+        if checkpointed_key and checkpointed_shards > 0:
+            self._banked_shards[(job.job_id, checkpointed_key)] = (
+                checkpointed_shards
+            )
+            self.drain_checkpoints += 1
+
+    # -- resume-time auditing -------------------------------------------
+
+    def record_scan_start(
+        self, job: ClusterJob, key: str, resumed_shards: int
+    ) -> None:
+        """A node is about to scan ``key`` for ``job``; charge any
+        banked work the resume failed to reuse."""
+        if (job.job_id, key) in self._drained_complete:
+            # This chain was finished before the drain; scanning it
+            # again means the drain's publish was lost or ignored.
+            job.migrated_recomputed_chains += 1
+            self.migrated_recomputed_chains += 1
+            self._drained_complete.discard((job.job_id, key))
+        banked = self._banked_shards.pop((job.job_id, key), None)
+        if banked is not None and resumed_shards < banked:
+            self.double_billed_shards += banked - resumed_shards
+
+    def forget_job(self, job: ClusterJob) -> None:
+        """The job completed; its banking is settled."""
+        self._drained_complete = {
+            pair for pair in self._drained_complete
+            if pair[0] != job.job_id
+        }
+        for pair in [
+            p for p in self._banked_shards if p[0] == job.job_id
+        ]:
+            del self._banked_shards[pair]

@@ -17,6 +17,7 @@ from .plan import (
     GPU_DOMAIN,
     MSA_DOMAIN,
     merge_plans,
+    restrict_kinds,
 )
 from .recovery import (
     BreakerState,
@@ -43,6 +44,7 @@ __all__ = [
     "MsaCheckpoint",
     "WorkerHealth",
     "merge_plans",
+    "restrict_kinds",
     "run_campaign",
     "run_suite",
 ]

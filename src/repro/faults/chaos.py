@@ -28,7 +28,7 @@ import json
 from collections import OrderedDict
 from typing import Dict, List, Optional, Tuple
 
-from .plan import FaultPlan
+from .plan import FaultKind, FaultPlan, restrict_kinds
 
 
 class InvariantViolation(AssertionError):
@@ -59,8 +59,14 @@ class ChaosConfig:
     db_corruptions: int = 2
     slow_nodes: int = 2
     store_corruptions: int = 0   # needs a feature store to bite
+    preemption_notices: int = 0  # spot reclaim warnings (lead + outage)
     horizon_scale: float = 0.9   # faults land in this early fraction
     #                            # of the arrival window
+    #: Optional fault-kind whitelist (FaultKind values, e.g.
+    #: ``("worker_crash",)``): the plan is generated with the full mix
+    #: (preserving every seeded draw) and then filtered, so one kind
+    #: can be replayed in isolation to debug a mixed-kind failure.
+    kinds: Optional[Tuple[str, ...]] = None
     # -- recovery policy ----------------------------------------------
     restart_seconds: float = 300.0
     breaker_failure_threshold: int = 2
@@ -73,6 +79,14 @@ class ChaosConfig:
             raise ValueError("num_requests must be >= 1")
         if not 0 < self.horizon_scale <= 1:
             raise ValueError("horizon_scale must be in (0, 1]")
+        if self.kinds is not None:
+            valid = {kind.value for kind in FaultKind}
+            unknown = [k for k in self.kinds if k not in valid]
+            if unknown:
+                raise ValueError(
+                    f"unknown fault kinds {unknown}; "
+                    f"valid: {sorted(valid)}"
+                )
 
     def fault_counts(self) -> "OrderedDict[str, int]":
         """The per-kind event counts the plan generator is fed."""
@@ -84,6 +98,7 @@ class ChaosConfig:
             db_corruptions=self.db_corruptions,
             slow_nodes=self.slow_nodes,
             store_corruptions=self.store_corruptions,
+            preemption_notices=self.preemption_notices,
         )
 
 
@@ -174,6 +189,10 @@ def _build(config: ChaosConfig, probe=None, store=None):
         num_msa_workers=config.num_msa_workers,
         **config.fault_counts(),
     )
+    if config.kinds is not None:
+        plan = restrict_kinds(
+            plan, (FaultKind(value) for value in config.kinds)
+        )
     gateway_config = GatewayConfig(
         num_gpu_workers=config.num_gpu_workers,
         num_msa_workers=config.num_msa_workers,

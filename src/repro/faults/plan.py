@@ -32,6 +32,12 @@ Fault kinds map one-to-one onto the failure domains of the stack:
   (bit flip, torn write survived by fsync lies); the store's checksum
   catches it at the next read, which invalidates the entry and forces
   a recompute instead of serving bad features.
+* ``PREEMPTION_NOTICE`` — a spot instance gets its two-minute-warning
+  analog: ``magnitude`` seconds of notice lead-time, then the node is
+  reclaimed for ``seconds``.  A notice-aware scheduler drains during
+  the lead (checkpoint in-flight scans, publish finished chains) so
+  the eviction itself loses nothing; the single-pool gateway treats
+  it as a plain preemption starting at notice + lead.
 """
 
 from __future__ import annotations
@@ -57,6 +63,7 @@ class FaultKind(enum.Enum):
     DB_CORRUPTION = "db_corruption"
     SLOW_NODE = "slow_node"
     STORE_CORRUPTION = "store_corruption"
+    PREEMPTION_NOTICE = "preemption_notice"
 
 
 #: Kinds that can only target one domain.
@@ -75,7 +82,8 @@ class FaultEvent:
     ``seconds`` is the event's duration (preemption/outage window,
     stall length, OOM-spike or slow-node window); ``magnitude`` is the
     kind-specific intensity — fraction of device memory for an OOM
-    spike, slowdown factor for a slow node, unused otherwise.
+    spike, slowdown factor for a slow node, notice lead-time in
+    seconds for a preemption notice, unused otherwise.
     """
 
     event_id: int
@@ -156,7 +164,11 @@ class FaultPlan:
         FaultKind.GPU_OOM_SPIKE: (120.0, 900.0),
         FaultKind.DB_READ_STALL: (30.0, 300.0),
         FaultKind.SLOW_NODE: (300.0, 1800.0),
+        FaultKind.PREEMPTION_NOTICE: (300.0, 1800.0),
     }
+
+    #: (min, max) notice lead-time draws, seconds (EC2 spot gives 120).
+    NOTICE_LEAD_RANGE: Tuple[float, float] = (90.0, 180.0)
 
     @classmethod
     def generate(
@@ -172,6 +184,7 @@ class FaultPlan:
         db_corruptions: int = 0,
         slow_nodes: int = 0,
         store_corruptions: int = 0,
+        preemption_notices: int = 0,
     ) -> "FaultPlan":
         """A seeded schedule with the requested count of each kind.
 
@@ -192,9 +205,10 @@ class FaultPlan:
             (FaultKind.DB_READ_STALL, db_stalls),
             (FaultKind.DB_CORRUPTION, db_corruptions),
             (FaultKind.SLOW_NODE, slow_nodes),
-            # Appended last so zero-count plans draw the exact rng
-            # sequence (and events) they always did.
+            # Newer kinds append so zero-count plans draw the exact
+            # rng sequence (and events) they always did.
             (FaultKind.STORE_CORRUPTION, store_corruptions),
+            (FaultKind.PREEMPTION_NOTICE, preemption_notices),
         ]
         if any(n < 0 for _, n in counts):
             raise ValueError("fault counts must be >= 0")
@@ -221,6 +235,8 @@ class FaultPlan:
                     magnitude = rng.uniform(0.3, 0.9)
                 elif kind is FaultKind.SLOW_NODE:
                     magnitude = rng.uniform(1.5, 4.0)
+                elif kind is FaultKind.PREEMPTION_NOTICE:
+                    magnitude = rng.uniform(*cls.NOTICE_LEAD_RANGE)
                 else:
                     magnitude = 0.0
                 events.append(FaultEvent(
@@ -230,6 +246,20 @@ class FaultPlan:
                 ))
                 event_id += 1
         return cls(events)
+
+
+def restrict_kinds(
+    plan: FaultPlan, kinds: Iterable[FaultKind]
+) -> FaultPlan:
+    """The plan filtered to ``kinds`` only, event ids preserved.
+
+    Ids are *not* reassigned: a surviving event keeps the exact
+    identity (and therefore the exact store-corruption target, which
+    hashes the event id) it had in the full plan, so a single kind can
+    be replayed in isolation to debug a mixed-kind chaos failure.
+    """
+    wanted = frozenset(kinds)
+    return FaultPlan(e for e in plan if e.kind in wanted)
 
 
 def merge_plans(*plans: Optional[FaultPlan]) -> FaultPlan:

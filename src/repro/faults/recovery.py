@@ -259,6 +259,7 @@ class FaultStats:
     degraded_served: int = 0
     fault_retries: int = 0         # re-admissions caused by faults
     store_corruptions: int = 0     # feature-store entries tampered
+    preemption_notices: int = 0    # spot two-minute-warnings received
 
     def as_dict(self) -> "OrderedDict[str, object]":
         """Ordered dict in declaration order (the ``faults`` section
@@ -287,4 +288,5 @@ class FaultStats:
             degraded_served=self.degraded_served,
             fault_retries=self.fault_retries,
             store_corruptions=self.store_corruptions,
+            preemption_notices=self.preemption_notices,
         )

@@ -56,12 +56,27 @@ from .analysis import (
     phase_attribution,
     reconcile_with_trace,
 )
-from .export import chrome_trace_json, prometheus_metrics, to_chrome_trace
-from .instrument import NULL_PROBE, GatewayProbe, SpanProbe
+from .export import (
+    chrome_trace_json,
+    cluster_prometheus_metrics,
+    prometheus_metrics,
+    to_chrome_trace,
+)
+from .instrument import (
+    NULL_CLUSTER_PROBE,
+    NULL_PROBE,
+    ClusterProbe,
+    ClusterSpanProbe,
+    GatewayProbe,
+    SpanProbe,
+)
 from .spans import REQUEST_TRACK, Span, SpanRecorder
 
 __all__ = [
+    "ClusterProbe",
+    "ClusterSpanProbe",
     "GatewayProbe",
+    "NULL_CLUSTER_PROBE",
     "NULL_PROBE",
     "REQUEST_TRACK",
     "STAGE_NAMES",
@@ -72,6 +87,7 @@ __all__ = [
     "build_tree",
     "build_trees",
     "chrome_trace_json",
+    "cluster_prometheus_metrics",
     "critical_path",
     "explain",
     "path_gap_seconds",

@@ -193,6 +193,8 @@ _COUNTERS = [
     ("failed_oom", "failed_oom_total",
      "Requests that exceed device memory even alone."),
     ("retries", "retries_total", "Timeout-triggered retry admissions."),
+    ("retries_exhausted", "retries_exhausted_total",
+     "Requests whose retry budget was exhausted."),
     ("oom_events", "oom_events_total",
      "Batch dispatches that hit device OOM."),
     ("batches_dispatched", "batches_total", "GPU batches dispatched."),
@@ -304,6 +306,150 @@ def prometheus_metrics(report, prefix: str = "afsys_serving") -> str:
                 f"(see docs/metrics_reference.md)."
             )
             kind = "gauge" if key == "rewarm_seconds" or key == "stall_seconds" else "counter"
+            lines.append(f"# TYPE {name} {kind}")
+            lines.append(f"{name}{labels} {value}")
+    return "\n".join(lines) + "\n"
+
+
+# -- cluster Prometheus exposition ---------------------------------------
+
+#: cluster summary field -> (metric suffix, type, help text).
+_CLUSTER_COUNTERS = [
+    ("submitted", "jobs_submitted_total", "Jobs submitted to the cluster."),
+    ("completed", "jobs_completed_total", "Jobs that finished inference."),
+    ("failed", "jobs_failed_total",
+     "Jobs that exhausted their retry budget."),
+    ("attempts", "job_attempts_total", "Node assignments (all attempts)."),
+    ("migrations", "migrations_total",
+     "Drain-requeues after a spot preemption notice."),
+    ("crash_requeues", "crash_requeues_total",
+     "Requeues after a crash or zero-warning reclaim."),
+    ("chains_scanned", "chains_scanned_total",
+     "Per-chain MSA scans run on cluster nodes."),
+    ("store_chain_hits", "store_chain_hits_total",
+     "Chain scans avoided via the shared feature store."),
+    ("chains_published", "chains_published_total",
+     "Chain features published to the shared store."),
+    ("resumed_shards", "resumed_shards_total",
+     "DB shards skipped by resuming drain checkpoints."),
+    ("drain_publishes", "drain_publishes_total",
+     "Chains published during preemption drains."),
+    ("drain_checkpoints", "drain_checkpoints_total",
+     "In-flight scans checkpointed during drains."),
+    ("corrupted_keys", "store_corrupted_keys_total",
+     "Trusted store keys struck by corruption."),
+    ("migrated_recomputed_chains", "migrated_recomputed_chains_total",
+     "Chain scans re-run despite a completed pre-drain scan "
+     "(the no-double-execution audit pins this at 0)."),
+    ("double_billed_shards", "double_billed_shards_total",
+     "Checkpointed shards billed twice on resume (audit pins 0)."),
+    ("scale_outs", "scale_out_nodes_total", "Nodes booted by autoscaling."),
+    ("scale_ins", "scale_in_nodes_total",
+     "Idle nodes terminated by autoscaling."),
+    ("queue_pushes", "queue_pushes_total", "Job queue admissions."),
+    ("queue_requeues", "queue_requeues_total", "Job queue re-admissions."),
+]
+
+_CLUSTER_GAUGES = [
+    ("duration_seconds", "duration_seconds",
+     "Simulated makespan of the cluster run."),
+    ("scan_seconds_billed", "scan_seconds_billed",
+     "Node-seconds billed to MSA chain scans."),
+    ("gpu_seconds_billed", "gpu_seconds_billed",
+     "Node-seconds billed to GPU inference."),
+    ("cost_usd", "cost_usd", "Total fleet cost, boot to termination."),
+    ("cost_per_job_usd", "cost_per_job_usd", "Fleet cost per completed job."),
+    ("throughput_jobs_per_hour", "throughput_jobs_per_hour",
+     "Completed jobs per simulated hour."),
+]
+
+_POOL_GAUGES = [
+    ("nodes_booted", "pool_nodes_booted", "Nodes booted in the pool."),
+    ("nodes_terminated", "pool_nodes_terminated",
+     "Pool nodes preempted or scaled in."),
+    ("peak_nodes", "pool_peak_nodes",
+     "Max simultaneously-alive nodes in the pool."),
+    ("busy_seconds", "pool_busy_seconds",
+     "Node-seconds the pool spent on jobs."),
+    ("billed_seconds", "pool_billed_seconds",
+     "Node-seconds the pool was billed for."),
+    ("cost_usd", "pool_cost_usd", "Pool cost over the run."),
+    ("utilization", "pool_utilization_ratio",
+     "Busy fraction of billed pool time."),
+]
+
+
+def cluster_prometheus_metrics(report, prefix: str = "afsys_cluster") -> str:
+    """Prometheus text exposition of a cluster report's summary.
+
+    Same contract as :func:`prometheus_metrics` one level up: fixed
+    names and ordering (byte-identical for a seeded run), fields
+    sourced from the golden cluster summary documented in
+    ``docs/metrics_reference.md``.  Pool-scoped metrics carry a
+    ``pool`` label; everything else is labelled by autoscale policy.
+    """
+    summary = report.summary()
+    labels = f'{{policy="{summary["policy"]}"}}'
+    lines: List[str] = []
+
+    def emit(suffix, mtype, help_text, value, extra_labels=""):
+        name = f"{prefix}_{suffix}"
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {mtype}")
+        lines.append(f"{name}{extra_labels or labels} {value}")
+
+    for field, suffix, help_text in _CLUSTER_COUNTERS:
+        emit(suffix, "counter", help_text, summary[field])
+    for field, suffix, help_text in _CLUSTER_GAUGES:
+        emit(suffix, "gauge", help_text, summary[field])
+    stats = summary["latency"]
+    name = f"{prefix}_job_latency_seconds"
+    lines.append(
+        f"# HELP {name} Arrival-to-completion latency, completed jobs."
+    )
+    lines.append(f"# TYPE {name} summary")
+    base = labels[:-1]
+    for key, quantile in _QUANTILES:
+        lines.append(f'{name}{base},quantile="{quantile}"}} {stats[key]}')
+    lines.append(f"{name}_count{labels} {stats['count']}")
+    lines.append(f"{name}_mean{labels} {stats['mean']}")
+    lines.append(f"{name}_max{labels} {stats['max']}")
+    for field, suffix, help_text in _POOL_GAUGES:
+        name = f"{prefix}_{suffix}"
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} gauge")
+        for pool_name, pool in summary["pools"].items():
+            pool_labels = (
+                f'{base},pool="{pool_name}",'
+                f'spot="{str(pool["spot"]).lower()}"}}'
+            )
+            lines.append(f"{name}{pool_labels} {pool[field]}")
+    faults = summary.get("faults")
+    if faults:
+        for key, value in faults.items():
+            if not isinstance(value, (int, float)):
+                continue
+            name = f"{prefix}_fault_{key}"
+            lines.append(
+                f"# HELP {name} Fault/recovery counter "
+                f"(see docs/metrics_reference.md)."
+            )
+            kind = "gauge" if key.endswith("_seconds") else "counter"
+            lines.append(f"# TYPE {name} {kind}")
+            lines.append(f"{name}{labels} {value}")
+    store = summary.get("store")
+    if store:
+        for key, value in store.items():
+            name = f"{prefix}_store_{key}"
+            lines.append(
+                f"# HELP {name} Feature-store counter "
+                f"(see docs/metrics_reference.md)."
+            )
+            kind = (
+                "gauge"
+                if key in ("hit_rate", "entries", "total_bytes")
+                else "counter"
+            )
             lines.append(f"# TYPE {name} {kind}")
             lines.append(f"{name}{labels} {value}")
     return "\n".join(lines) + "\n"

@@ -70,6 +70,7 @@ from ..store.coalesce import InflightLeases
 from ..store.feature_store import FeatureStore
 from ..trace import OpRecord, Resource, WorkloadTrace
 from .batching import DynamicBatcher
+from .pool import WorkerPool
 from .cache import (
     CachedMsa,
     MsaResultCache,
@@ -265,6 +266,18 @@ class ServingGateway:
             for _ in range(self.config.num_gpu_workers)
         ]
 
+    # -- pool views -----------------------------------------------------
+
+    @property
+    def gpu_health(self) -> List[WorkerHealth]:
+        """Per-GPU-worker health ledgers (chaos invariants read these)."""
+        return self.gpu_pool.health
+
+    @property
+    def msa_health(self) -> List[WorkerHealth]:
+        """Per-MSA-worker health ledgers (chaos invariants read these)."""
+        return self.msa_pool.health
+
     # -- simulation -----------------------------------------------------
 
     def run(self, requests: Sequence[ServingRequest]) -> ServingReport:
@@ -286,12 +299,9 @@ class ServingGateway:
         self._inflight: Dict[str, ServingRequest] = {}   # key -> leader
         self._waiters: Dict[str, List[ServingRequest]] = {}
         self._waiting_count = 0
-        self._free_msa = list(range(cfg.num_msa_workers))
-        self._free_gpu = list(range(cfg.num_gpu_workers))
-        self._msa_busy = 0.0
-        self._gpu_busy = 0.0
         self._batch_sizes: List[int] = []
         self._retries = 0
+        self._retries_exhausted = 0
         self._oom_events = 0
         self._coalesced = 0
         # -- feature-store state ---------------------------------------
@@ -308,19 +318,14 @@ class ServingGateway:
         # -- fault-injection state -------------------------------------
         self.fault_stats = FaultStats()
         self.checkpoints = CheckpointStore()
-        self.gpu_health = [
-            WorkerHealth(index=i, breaker=self._make_breaker())
-            for i in range(cfg.num_gpu_workers)
-        ]
-        self.msa_health = [
-            WorkerHealth(index=i, breaker=self._make_breaker())
-            for i in range(cfg.num_msa_workers)
-        ]
-        #: In-flight MSA job bookkeeping per worker:
-        #: (request, base_completed_shards, planned_seconds, corrupted)
-        self._msa_jobs: Dict[int, List[object]] = {}
-        #: In-flight GPU batch per worker (crash handling requeues it).
-        self._gpu_jobs: Dict[int, List[ServingRequest]] = {}
+        #: Worker pools: health ledgers, sorted free lists, in-flight
+        #: job payloads and busy-second accounting all live on the
+        #: shared :class:`~repro.serving.pool.WorkerPool` abstraction
+        #: (the MSA pool's payloads are ``[request, base_shards,
+        #: planned_seconds, corrupted]`` lists, the GPU pool's are the
+        #: executing batches).
+        self.gpu_pool = WorkerPool(cfg.num_gpu_workers, self._make_breaker)
+        self.msa_pool = WorkerPool(cfg.num_msa_workers, self._make_breaker)
         self.monotonic_violations = 0
         self.probe.attach(cfg.num_gpu_workers, cfg.num_msa_workers)
 
@@ -363,14 +368,15 @@ class ServingGateway:
             num_gpu_workers=cfg.num_gpu_workers,
             num_msa_workers=cfg.num_msa_workers,
             duration_seconds=last_time,
-            gpu_busy_seconds=self._gpu_busy,
-            msa_busy_seconds=self._msa_busy,
+            gpu_busy_seconds=self.gpu_pool.busy_seconds,
+            msa_busy_seconds=self.msa_pool.busy_seconds,
             batch_sizes=self._batch_sizes,
             max_batch=cfg.max_batch,
             cache_hits=self._cache.hits,
             cache_misses=self._cache.misses,
             coalesced_msa=self._coalesced,
             retries=self._retries,
+            retries_exhausted=self._retries_exhausted,
             oom_events=self._oom_events,
             fault_summary=self._fault_summary(),
             store_summary=self._store_summary(),
@@ -562,14 +568,14 @@ class ServingGateway:
         prices the scan (resuming from any checkpoint, applying
         slow-node factors and pending stalls) and schedules its
         completion event under the worker's current job token."""
-        while self._free_msa:
+        while self.msa_pool.has_free:
             request = self._msa_queue.pop_valid(
                 lambda r: r.state is RequestState.QUEUED_MSA
             )
             if request is None:
                 return
-            worker = self._free_msa.pop(0)
-            health = self.msa_health[worker]
+            worker = self.msa_pool.take()
+            health = self.msa_pool.health[worker]
             request.msa_wait += self._now - request.stage_entered_at
             request.state = RequestState.IN_MSA
             cost = self.msa_cost_model.cost(request.sample)
@@ -592,15 +598,14 @@ class ServingGateway:
             self.probe.msa_started(
                 request, worker, self._now, base_shards, planned, stall
             )
-            self._msa_busy += planned
             health.dispatches += 1
-            health.busy = True
-            health.job_started = self._now
-            health.job_expected_end = self._now + planned
-            self._msa_jobs[worker] = [request, base_shards, planned, False]
+            token = self.msa_pool.start_job(
+                worker, [request, base_shards, planned, False],
+                self._now, planned,
+            )
             self._push(
                 _EV_MSA_DONE, self._now + planned,
-                (worker, request, health.job_token),
+                (worker, request, token),
             )
 
     def _msa_done(
@@ -610,13 +615,11 @@ class ServingGateway:
         and every coalesced waiter to the batcher, and free the worker.
         Corrupt streams instead invalidate cache/checkpoints and rerun;
         stale tokens (worker died mid-scan) are ignored outright."""
-        health = self.msa_health[worker]
+        health = self.msa_pool.health[worker]
         if not health.busy or health.job_token != token:
             return   # stale completion: the worker crashed mid-scan
-        job = self._msa_jobs.pop(worker, None)
+        job = self.msa_pool.finish_job(worker)
         corrupted = bool(job and job[3])
-        health.busy = False
-        health.completions += 1
         key = request.content_key()
         self.probe.msa_finished(request, worker, self._now, corrupted)
         if corrupted:
@@ -661,9 +664,7 @@ class ServingGateway:
                     waiter.msa_depth = request.msa_depth
                     self.probe.msa_waiter_released(waiter, self._now)
                     self._to_batcher(waiter)
-        if health.up and health.breaker.allows_dispatch:
-            self._free_msa.append(worker)
-            self._free_msa.sort()
+        self.msa_pool.release(worker)
         self._assign_msa()
 
     def _publish_chains(self, request: ServingRequest) -> None:
@@ -702,13 +703,13 @@ class ServingGateway:
         worker's breaker; a successful one charges any post-crash
         re-warm cost and schedules the batch completion under the
         worker's job token."""
-        while self._free_gpu:
+        while self.gpu_pool.has_free:
             popped = self._batcher.pop_ready(self._now)
             if popped is None:
                 return
             bucket, batch = popped
-            worker_idx = self._free_gpu.pop(0)
-            health = self.gpu_health[worker_idx]
+            worker_idx = self.gpu_pool.take()
+            health = self.gpu_pool.health[worker_idx]
             engine = self.workers[worker_idx]
             for member in batch:
                 member.batch_wait += self._now - member.stage_entered_at
@@ -731,8 +732,7 @@ class ServingGateway:
                     self.fault_stats.oom_spike_ooms += 1
                 newly_open = health.breaker.record_failure()
                 if health.breaker.allows_dispatch:
-                    self._free_gpu.append(worker_idx)
-                    self._free_gpu.sort()
+                    self.gpu_pool.release(worker_idx)
                 elif newly_open:
                     self.probe.breaker_opened(
                         GPU_DOMAIN, worker_idx, self._now
@@ -757,18 +757,16 @@ class ServingGateway:
                 result.latency_seconds, rewarm,
             )
             self._batch_sizes.append(len(batch))
-            self._gpu_busy += result.latency_seconds
-            health.busy = True
-            health.job_started = self._now
-            health.job_expected_end = self._now + result.latency_seconds
             for member in batch:
                 member.gpu_seconds = result.latency_seconds
                 member.batch_size = len(batch)
-            self._gpu_jobs[worker_idx] = list(batch)
+            token = self.gpu_pool.start_job(
+                worker_idx, list(batch), self._now, result.latency_seconds
+            )
             self._push(
                 _EV_GPU_DONE,
                 self._now + result.latency_seconds,
-                (worker_idx, batch, health.job_token),
+                (worker_idx, batch, token),
             )
 
     def _handle_oom(self, batch: List[ServingRequest]) -> None:
@@ -796,21 +794,17 @@ class ServingGateway:
         """A GPU batch finished: complete every member, free the
         worker, and pull the next batch.  Stale tokens (worker died
         mid-batch; members were already requeued) are ignored."""
-        health = self.gpu_health[worker_idx]
+        health = self.gpu_pool.health[worker_idx]
         if not health.busy or health.job_token != token:
             return   # stale completion: the worker crashed mid-batch
-        health.busy = False
-        health.completions += 1
+        self.gpu_pool.finish_job(worker_idx)
         health.breaker.record_success()
-        self._gpu_jobs.pop(worker_idx, None)
         self.probe.batch_finished(worker_idx, batch, self._now)
         for member in batch:
             member.state = RequestState.DONE
             member.completion_seconds = self._now
             self.probe.request_done(member, self._now)
-        if health.up and health.breaker.allows_dispatch:
-            self._free_gpu.append(worker_idx)
-            self._free_gpu.sort()
+        self.gpu_pool.release(worker_idx)
         self._dispatch_gpu()
 
     # -- robustness -----------------------------------------------------
@@ -834,6 +828,7 @@ class ServingGateway:
             self._batcher.remove(request)
         self.probe.attempt_timed_out(request, now)
         if request.attempts >= 1 + cfg.max_retries:
+            self._retries_exhausted += 1
             if cfg.degraded_fallback:
                 self._degrade(request, "retries exhausted")
                 return
@@ -920,12 +915,40 @@ class ServingGateway:
             applied = self._slow_node(event)
         elif kind is FaultKind.STORE_CORRUPTION:
             applied = self._store_corruption(event)
+        elif kind is FaultKind.PREEMPTION_NOTICE:
+            applied = self._preemption_notice(event)
         else:   # pragma: no cover - exhaustive over FaultKind
             applied = False
+        if event.event_id < 0:
+            return   # derived (notice-scheduled preemption): counted once
         if applied:
             self.fault_stats.events_applied += 1
         else:
             self.fault_stats.events_noop += 1
+
+    def _preemption_notice(self, event: FaultEvent) -> bool:
+        """A spot reclaim warning: the worker leaves after the notice
+        lead-time (``magnitude`` seconds) for ``seconds``.  The
+        single-pool gateway has no drain protocol — it schedules the
+        preemption at notice + lead and keeps serving; the cluster
+        scheduler spends the lead checkpointing and migrating work."""
+        health = self._health_for(event)
+        if health is None:
+            return False
+        lead = max(0.0, event.magnitude)
+        self.fault_stats.preemption_notices += 1
+        self.probe.fault_instant(
+            event.domain, event.worker, "preemption_notice", self._now,
+            seconds=round(event.seconds, 6), lead=round(lead, 6),
+        )
+        self._push(_EV_FAULT, self._now + lead, dataclasses.replace(
+            event,
+            event_id=-event.event_id - 1,   # derived: never re-counted
+            time=self._now + lead,
+            kind=FaultKind.PREEMPTION,
+            magnitude=0.0,
+        ))
+        return True
 
     def _health_for(self, event: FaultEvent) -> Optional[WorkerHealth]:
         """The targeted worker's health record, or None when the plan
@@ -967,12 +990,10 @@ class ServingGateway:
             if crash and engine.warm:
                 engine.reset()
                 health.needs_rewarm = True
-            if event.worker in self._free_gpu:
-                self._free_gpu.remove(event.worker)
+            self.gpu_pool.withdraw(event.worker)
         else:
             self._abort_msa_job(event.worker, health)
-            if event.worker in self._free_msa:
-                self._free_msa.remove(event.worker)
+            self.msa_pool.withdraw(event.worker)
         if crash:
             if health.breaker.record_failure():
                 self.probe.breaker_opened(
@@ -1006,10 +1027,7 @@ class ServingGateway:
         if not health.busy:
             return
         # Un-run GPU time is handed back; the elapsed part stays burnt.
-        self._gpu_busy -= health.job_expected_end - self._now
-        batch = self._gpu_batch_of(worker)
-        health.invalidate_job()
-        health.aborts += 1
+        batch = self.gpu_pool.abort_job(worker, self._now) or []
         if batch:
             self.probe.batch_aborted(worker, batch, self._now)
             bucket = max(m.bucket(self.config.buckets) for m in batch)
@@ -1021,20 +1039,13 @@ class ServingGateway:
                 self.probe.batch_queued(member, self._now)
             self._batcher.add_forced(bucket, batch)
 
-    def _gpu_batch_of(self, worker: int) -> List[ServingRequest]:
-        """Take the batch currently executing on a GPU worker."""
-        return self._gpu_jobs.pop(worker, [])
-
     def _abort_msa_job(self, worker: int, health: WorkerHealth) -> None:
         """The worker died mid-scan: checkpoint the shards completed
         so far (a clean stream permitting), so the requeued request
         resumes instead of restarting from shard zero."""
         if not health.busy:
             return
-        self._msa_busy -= health.job_expected_end - self._now
-        job = self._msa_jobs.pop(worker, None)
-        health.invalidate_job()
-        health.aborts += 1
+        job = self.msa_pool.abort_job(worker, self._now)
         if not job:
             return
         request, base_shards, planned, corrupted = job
@@ -1090,11 +1101,11 @@ class ServingGateway:
         self.fault_stats.stalls_applied += 1
         self.fault_stats.stall_seconds += stall
         if health.busy:
-            job = self._msa_jobs.get(event.worker)
+            job = self.msa_pool.jobs.get(event.worker)
             old_token = health.job_token
             health.job_token += 1   # invalidate the scheduled finish
             health.job_expected_end += stall
-            self._msa_busy += stall
+            self.msa_pool.busy_seconds += stall
             if job is not None:
                 request = job[0]
                 job[2] += stall
@@ -1127,7 +1138,7 @@ class ServingGateway:
         health = self._health_for(event)
         if health is None or not health.busy:
             return False
-        job = self._msa_jobs.get(event.worker)
+        job = self.msa_pool.jobs.get(event.worker)
         if job is None:   # pragma: no cover - busy implies a job
             return False
         job[3] = True
@@ -1179,10 +1190,8 @@ class ServingGateway:
         """Re-admit a worker to its free pool: ``restart``/``return``
         bring it back up (breaker permitting); ``probe`` half-opens an
         expired breaker so one trial dispatch can close it."""
-        health = (
-            self.gpu_health[worker] if domain == GPU_DOMAIN
-            else self.msa_health[worker]
-        )
+        pool = self.gpu_pool if domain == GPU_DOMAIN else self.msa_pool
+        health = pool.health[worker]
         if mode == "probe":
             self.probe.breaker_probe(domain, worker, self._now)
             health.breaker.to_half_open()
@@ -1195,10 +1204,7 @@ class ServingGateway:
             self.probe.worker_up(domain, worker, self._now, mode)
             if not health.breaker.allows_dispatch:
                 return   # breaker is open; the probe event re-admits it
-        pool = self._free_gpu if domain == GPU_DOMAIN else self._free_msa
-        if worker not in pool and not health.busy and health.up:
-            pool.append(worker)
-            pool.sort()
+        pool.release(worker)
         if domain == GPU_DOMAIN:
             self._dispatch_gpu()
         else:

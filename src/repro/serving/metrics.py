@@ -102,6 +102,7 @@ class ServingReport:
     timed_out: int
     failed_oom: int
     retries: int
+    retries_exhausted: int           # requests whose retry budget ran out
     oom_events: int
     degraded: int                    # served via reduced-depth fallback
     latency: LatencyStats            # end-to-end, completed requests
@@ -150,6 +151,7 @@ class ServingReport:
             timed_out=self.timed_out,
             failed_oom=self.failed_oom,
             retries=self.retries,
+            retries_exhausted=self.retries_exhausted,
             oom_events=self.oom_events,
             throughput_rps=round(self.throughput_rps, 9),
             latency=self.latency.as_dict(),
@@ -248,6 +250,7 @@ def build_report(
     cache_misses: int,
     coalesced_msa: int,
     retries: int,
+    retries_exhausted: int,
     oom_events: int,
     fault_summary: Optional[Dict[str, object]] = None,
     store_summary: Optional[Dict[str, object]] = None,
@@ -278,6 +281,7 @@ def build_report(
             1 for r in requests if r.state is RequestState.FAILED_OOM
         ),
         retries=retries,
+        retries_exhausted=retries_exhausted,
         oom_events=oom_events,
         latency=LatencyStats.of(latencies),
         msa_queue_wait=LatencyStats.of([r.msa_wait for r in completed]),

@@ -1,0 +1,125 @@
+"""The worker-pool abstraction the gateway schedules over.
+
+Extracted from :class:`~repro.serving.gateway.ServingGateway`, which
+originally open-coded two copies of the same bookkeeping (one for the
+MSA pool, one for the GPU pool): a sorted free list, a
+:class:`~repro.faults.recovery.WorkerHealth` ledger per worker, an
+in-flight job table, and a busy-seconds accumulator.  The cluster
+scheduler (:mod:`repro.cluster`) needs the same mechanics per *node
+pool*, so the bookkeeping lives here once.
+
+Determinism contract: the free list is kept sorted and ``take()``
+always returns the lowest free index, so dispatch order is a pure
+function of event order — the serving and chaos goldens pin this.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..faults.recovery import CircuitBreaker, WorkerHealth
+
+__all__ = ["WorkerPool"]
+
+
+class WorkerPool:
+    """Indexed pool of homogeneous workers with health ledgers.
+
+    Holds exactly the state the gateway used to keep in parallel
+    lists/dicts per pool:
+
+    * ``health`` — one :class:`WorkerHealth` per worker (crash/restart
+      accounting, job tokens, fault windows, circuit breaker);
+    * a sorted free list (``take`` pops the lowest index, ``release``
+      re-inserts in order);
+    * ``jobs`` — opaque in-flight job payloads keyed by worker index;
+    * ``busy_seconds`` — the utilisation accumulator the report reads.
+    """
+
+    def __init__(
+        self,
+        size: int,
+        breaker_factory: Optional[Callable[[], CircuitBreaker]] = None,
+    ) -> None:
+        if size < 0:
+            raise ValueError("pool size must be >= 0")
+        factory = breaker_factory or CircuitBreaker
+        self.health: List[WorkerHealth] = [
+            WorkerHealth(index=i, breaker=factory()) for i in range(size)
+        ]
+        self.free: List[int] = list(range(size))
+        self.jobs: Dict[int, object] = {}
+        self.busy_seconds = 0.0
+
+    def __len__(self) -> int:
+        return len(self.health)
+
+    def __getitem__(self, index: int) -> WorkerHealth:
+        return self.health[index]
+
+    # -- free-list management -------------------------------------------
+
+    def take(self) -> int:
+        """Claim the lowest free worker index (caller checks emptiness
+        via ``has_free``)."""
+        return self.free.pop(0)
+
+    @property
+    def has_free(self) -> bool:
+        return bool(self.free)
+
+    def release(self, index: int) -> None:
+        """Return a worker to the free list if it is eligible for
+        dispatch (up, idle, breaker permitting) and not already free."""
+        health = self.health[index]
+        if (
+            index not in self.free
+            and health.up
+            and not health.busy
+            and health.breaker.allows_dispatch
+        ):
+            self.free.append(index)
+            self.free.sort()
+
+    def withdraw(self, index: int) -> None:
+        """Remove a worker from the free list (it went down or was
+        ejected); no-op when it was not free."""
+        if index in self.free:
+            self.free.remove(index)
+
+    # -- job bookkeeping ------------------------------------------------
+
+    def start_job(
+        self, index: int, payload: object, now: float, seconds: float
+    ) -> int:
+        """Mark the worker busy with ``payload`` until ``now+seconds``;
+        returns the job token its completion event must carry.
+
+        Does *not* count the dispatch — the gateway counts dispatches
+        at attempt time (a GPU dispatch that OOMs before executing is a
+        dispatch + abort, never a started job).
+        """
+        health = self.health[index]
+        health.busy = True
+        health.job_started = now
+        health.job_expected_end = now + seconds
+        self.jobs[index] = payload
+        self.busy_seconds += seconds
+        return health.job_token
+
+    def finish_job(self, index: int) -> object:
+        """The worker's job ran to completion; returns its payload."""
+        health = self.health[index]
+        health.busy = False
+        health.completions += 1
+        return self.jobs.pop(index, None)
+
+    def abort_job(self, index: int, now: float) -> object:
+        """The worker died (or was stalled out) mid-job: hand back the
+        un-run busy seconds, invalidate the scheduled completion via
+        the job token, and return the payload for requeueing."""
+        health = self.health[index]
+        self.busy_seconds -= health.job_expected_end - now
+        health.invalidate_job()
+        health.aborts += 1
+        return self.jobs.pop(index, None)

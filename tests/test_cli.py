@@ -92,3 +92,43 @@ class TestCommands:
         assert code == 0
         records = json.loads(capsys.readouterr().out)
         assert len(records) == 4  # 1 sample x 2 platforms x 2 threads
+
+
+class TestClusterCommands:
+    def test_cluster_sim_json_emits_pareto_rows(self, capsys):
+        code = main([
+            "cluster-sim", "--jobs", "20",
+            "--policies", "fixed", "cost-aware", "--format", "json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [r["policy"] for r in payload["pareto"]] == [
+            "fixed", "cost-aware"
+        ]
+        for summary in payload["policies"].values():
+            assert summary["completed"] + summary["failed"] == 20
+            assert summary["migrated_recomputed_chains"] == 0
+            assert summary["double_billed_shards"] == 0
+
+    def test_cluster_sim_text_renders_pareto_table(self, capsys):
+        assert main(["cluster-sim", "--jobs", "20"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fixed", "queue-depth", "cost-aware"):
+            assert name in out
+        assert "p99 h" in out   # the Pareto table header
+
+    def test_cluster_chaos_passes_and_exits_zero(self, capsys):
+        code = main([
+            "cluster-chaos", "--jobs", "30", "--seeds", "0",
+            "--no-determinism-check",
+        ])
+        assert code == 0
+        assert "invariants PASS" in capsys.readouterr().out
+
+    def test_cluster_chaos_kinds_filter(self, capsys):
+        code = main([
+            "cluster-chaos", "--jobs", "20", "--seeds", "0",
+            "--kinds", "preemption_notice", "--no-determinism-check",
+        ])
+        assert code == 0
+        assert "1 kinds" in capsys.readouterr().out

@@ -1,0 +1,126 @@
+"""Property tests: ``InflightLeases`` bookkeeping under leader death.
+
+The coalescing protocol's failure mode is a leader (the assembly that
+owns in-flight chain scans) dying mid-scan: its leases must be
+released in one step, no key may ever have two owners, and a follower
+must be able to promote itself over every freed key.  Hypothesis
+drives random acquire/release schedules against a reference model and
+checks the ledger's counters and ownership maps stay consistent.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.store.coalesce import InflightLeases
+
+KEYS = "abcdefgh"
+
+owner_st = st.sampled_from(["leader-1", "leader-2", "follower", "w3"])
+keys_st = st.lists(st.sampled_from(KEYS), max_size=6)
+ops_st = st.lists(
+    st.one_of(
+        st.tuples(st.just("acquire"), owner_st, keys_st),
+        st.tuples(st.just("release"), owner_st),
+    ),
+    max_size=40,
+)
+
+
+def check_consistent(leases, model):
+    """The ledger agrees with the reference model and itself."""
+    assert len(leases) == len(model)
+    for key, owner in model.items():
+        assert leases.owner_of(key) == owner
+        assert key in leases
+    # Every leased key appears exactly once across per-owner lists.
+    seen = []
+    for owner in leases.owners():
+        chains = leases.chains_of(owner)
+        assert len(chains) == len(set(chains))
+        for key in chains:
+            assert leases.owner_of(key) == owner
+        seen.extend(chains)
+    assert sorted(seen) == sorted(model)
+    # Conservation: leases held = acquired - released.
+    assert leases.acquired - leases.released == len(leases)
+
+
+class TestLeaseSchedules:
+    @given(ops_st)
+    @settings(max_examples=200, deadline=None)
+    def test_random_schedule_stays_consistent(self, ops):
+        leases = InflightLeases()
+        model = {}
+        for op in ops:
+            if op[0] == "acquire":
+                _, owner, keys = op
+                unowned = [
+                    k for k in dict.fromkeys(keys) if k not in model
+                ]
+                got = leases.acquire(keys, owner)
+                # Exactly the unowned keys were granted, in order;
+                # incumbents keep their leases.
+                assert got == unowned
+                for key in got:
+                    model[key] = owner
+            else:
+                _, owner = op
+                freed = leases.release(owner)
+                for key in freed:
+                    assert model.pop(key) == owner
+                assert owner not in leases.owners()
+            check_consistent(leases, model)
+
+    @given(keys_st.filter(bool), owner_st)
+    @settings(max_examples=100, deadline=None)
+    def test_leader_death_frees_everything_at_once(self, keys, leader):
+        leases = InflightLeases()
+        got = leases.acquire(keys, leader)
+        assert sorted(got) == sorted(set(keys))
+        freed = leases.release(leader)
+        assert sorted(freed) == sorted(got)
+        assert len(leases) == 0
+        assert leases.owners() == []
+        assert leases.acquired == leases.released == len(got)
+
+    @given(keys_st.filter(bool))
+    @settings(max_examples=100, deadline=None)
+    def test_follower_promotes_over_every_freed_key(self, keys):
+        leases = InflightLeases()
+        leases.acquire(keys, "leader-1")
+        # While the leader lives, the follower only subscribes.
+        contended_before = leases.contended
+        assert leases.acquire(keys, "follower") == []
+        # Contention counts attempts, not distinct keys.
+        assert leases.contended == contended_before + len(keys)
+        # Leader dies: no key is orphaned — the follower takes all.
+        leases.release("leader-1")
+        got = leases.acquire(keys, "follower")
+        assert sorted(got) == sorted(set(keys))
+        for key in set(keys):
+            assert leases.owner_of(key) == "follower"
+
+    @given(keys_st, keys_st)
+    @settings(max_examples=100, deadline=None)
+    def test_no_key_ever_has_two_owners(self, first, second):
+        leases = InflightLeases()
+        a = set(leases.acquire(first, "leader-1"))
+        b = set(leases.acquire(second, "leader-2"))
+        assert not a & b
+        for key in a:
+            assert leases.owner_of(key) == "leader-1"
+        for key in b - a:
+            assert leases.owner_of(key) == "leader-2"
+
+    def test_release_of_unknown_owner_is_a_noop(self):
+        leases = InflightLeases()
+        leases.acquire(["a"], "leader-1")
+        assert leases.release("ghost") == []
+        assert leases.owner_of("a") == "leader-1"
+        assert leases.released == 0
+
+    def test_reacquire_by_incumbent_is_not_contention(self):
+        leases = InflightLeases()
+        leases.acquire(["a", "b"], "leader-1")
+        assert leases.acquire(["a", "c"], "leader-1") == ["c"]
+        assert leases.contended == 0
+        assert sorted(leases.chains_of("leader-1")) == ["a", "b", "c"]

@@ -27,6 +27,7 @@ EXECUTABLE_DOCS = [
     DOCS / "feature_store.md",
     DOCS / "parallelism.md",
     DOCS / "kernels.md",
+    DOCS / "cluster.md",
 ]
 
 _FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)
@@ -91,3 +92,4 @@ class TestIntraRepoLinks:
         assert "docs/parallelism.md" in readme
         assert "docs/kernels.md" in readme
         assert "docs/feature_store.md" in readme
+        assert "docs/cluster.md" in readme
