@@ -1,0 +1,84 @@
+"""Campaign DAG orchestrator: thousand-target cohorts as one command.
+
+The paper characterizes one AF3 run end to end; real deployments push
+*cohorts* through the same stages — preprocess → MSA → inference →
+report — as a batch campaign (the Snakemake AF3 workflows, ParaFold's
+stage-separated CPU/GPU waves, AF_Cache's screening pipelines).  This
+package turns the repo's subsystems into that batch layer:
+
+* :mod:`repro.campaign.manifest` — CSV/JSON target manifests expanded
+  into validated targets (the ``create_tasks_from_dataframe`` idiom);
+* :mod:`repro.campaign.dag` — the per-target task graph and its
+  ready/blocked scheduling queries;
+* :mod:`repro.campaign.stages` — pure, deterministic stage functions
+  (outputs are a function of target + config, never of scheduling);
+* :mod:`repro.campaign.state` — the durable on-disk campaign directory:
+  every finished stage output is an atomically-written checkpoint, so
+  a killed campaign resumes recomputing **zero** finished stages;
+* :mod:`repro.campaign.runner` — wave scheduling of ready tasks onto
+  the :mod:`repro.parallel` engine with per-stage
+  :class:`~repro.parallel.ExecutionPlan`s, feature-store read-through
+  for MSA chains, and the kill-switch hook the resume audit uses;
+* :mod:`repro.campaign.report` — cohort aggregation: the golden-pinned
+  summary, markdown tables, per-figure JSON keyed to the paper's
+  tables/figures, and the simulated campaign timeline that renders as
+  spans (:func:`campaign_spans`);
+* :mod:`repro.campaign.chaos` — the kill/resume differential pinning
+  ``resumed_recomputed_stages == 0`` and byte-identical reports.
+
+See docs/campaign.md for the operator story.
+"""
+
+from .chaos import DifferentialResult, kill_resume_differential
+from .dag import STAGES, StageTask, TaskGraph, build_graph
+from .manifest import (
+    ChainSpec,
+    ManifestError,
+    TargetSpec,
+    load_manifest,
+    parse_manifest_csv,
+    parse_manifest_json,
+    render_manifest_csv,
+    seeded_manifest,
+)
+from .report import (
+    campaign_spans,
+    cohort_summary,
+    merge_task_outputs,
+    render_cohort_markdown,
+    simulated_schedule,
+)
+from .runner import (
+    CampaignConfig,
+    CampaignKilled,
+    CampaignRunReport,
+    run_campaign,
+)
+from .state import CampaignState
+
+__all__ = [
+    "STAGES",
+    "CampaignConfig",
+    "CampaignKilled",
+    "CampaignRunReport",
+    "CampaignState",
+    "ChainSpec",
+    "DifferentialResult",
+    "ManifestError",
+    "StageTask",
+    "TargetSpec",
+    "TaskGraph",
+    "build_graph",
+    "campaign_spans",
+    "cohort_summary",
+    "kill_resume_differential",
+    "load_manifest",
+    "merge_task_outputs",
+    "parse_manifest_csv",
+    "parse_manifest_json",
+    "render_cohort_markdown",
+    "render_manifest_csv",
+    "run_campaign",
+    "seeded_manifest",
+    "simulated_schedule",
+]

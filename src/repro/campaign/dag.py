@@ -1,0 +1,152 @@
+"""The campaign task graph: per-target stage chains with DAG queries.
+
+Each manifest target expands into one task per stage —
+``preprocess → msa → inference → report`` — and the graph exposes the
+two queries a wave scheduler needs: which tasks are *ready* (all
+dependencies finished) and which are *blocked* (an upstream task
+failed, so they can never run).  The graph is a real DAG, not a
+hard-coded chain: tasks carry explicit dependency lists and the
+constructor validates acyclicity and referential integrity, so cohort-
+level aggregation stages or cross-target dependencies can be added
+without touching the scheduler.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import OrderedDict
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from .manifest import TargetSpec
+
+__all__ = ["STAGES", "StageTask", "TaskGraph", "build_graph", "task_id"]
+
+#: Stage order of one target's chain (ParaFold's CPU/GPU stage split
+#: plus the per-target report merge).
+STAGES: Tuple[str, ...] = ("preprocess", "msa", "inference", "report")
+
+
+def task_id(target_id: str, stage: str) -> str:
+    """The canonical ``<target>.<stage>`` task identifier."""
+    return f"{target_id}.{stage}"
+
+
+@dataclasses.dataclass(frozen=True)
+class StageTask:
+    """One schedulable unit: a stage of a target, plus dependencies."""
+
+    task_id: str
+    target_id: str
+    stage: str
+    deps: Tuple[str, ...] = ()
+
+
+class TaskGraph:
+    """Validated DAG of :class:`StageTask`\\ s, in insertion order."""
+
+    def __init__(self, tasks: Iterable[StageTask]) -> None:
+        self.tasks: "OrderedDict[str, StageTask]" = OrderedDict()
+        for task in tasks:
+            if task.task_id in self.tasks:
+                raise ValueError(f"duplicate task id {task.task_id!r}")
+            self.tasks[task.task_id] = task
+        for task in self.tasks.values():
+            for dep in task.deps:
+                if dep not in self.tasks:
+                    raise ValueError(
+                        f"task {task.task_id!r} depends on unknown "
+                        f"task {dep!r}"
+                    )
+        self._order = self._topological_order()
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    def __iter__(self):
+        return iter(self.tasks.values())
+
+    def _topological_order(self) -> List[str]:
+        """Kahn's algorithm, deterministic (insertion-order queue);
+        raises on cycles."""
+        indegree = {tid: len(t.deps) for tid, t in self.tasks.items()}
+        children: Dict[str, List[str]] = {tid: [] for tid in self.tasks}
+        for tid, task in self.tasks.items():
+            for dep in task.deps:
+                children[dep].append(tid)
+        queue = [tid for tid in self.tasks if indegree[tid] == 0]
+        order: List[str] = []
+        while queue:
+            tid = queue.pop(0)
+            order.append(tid)
+            for child in children[tid]:
+                indegree[child] -= 1
+                if indegree[child] == 0:
+                    queue.append(child)
+        if len(order) != len(self.tasks):
+            cyclic = sorted(t for t in self.tasks if t not in set(order))
+            raise ValueError(f"task graph has a cycle through {cyclic}")
+        return order
+
+    def topological_order(self) -> List[StageTask]:
+        return [self.tasks[tid] for tid in self._order]
+
+    def ready(
+        self, done: Set[str], failed: Set[str]
+    ) -> List[StageTask]:
+        """Tasks whose dependencies are all done, in topological order
+        (never tasks already done/failed, never blocked ones)."""
+        terminal = done | failed
+        out = []
+        for tid in self._order:
+            if tid in terminal:
+                continue
+            task = self.tasks[tid]
+            if all(dep in done for dep in task.deps):
+                out.append(task)
+        return out
+
+    def blocked(
+        self, done: Set[str], failed: Set[str]
+    ) -> List[StageTask]:
+        """Tasks that can never run: some (transitive) dependency
+        failed."""
+        poisoned: Set[str] = set(failed)
+        out = []
+        for tid in self._order:
+            task = self.tasks[tid]
+            if tid in poisoned:
+                continue
+            if any(dep in poisoned for dep in task.deps):
+                poisoned.add(tid)
+                if tid not in done:
+                    out.append(task)
+        return out
+
+    def stage_tasks(self, stage: str) -> List[StageTask]:
+        return [t for t in self.tasks.values() if t.stage == stage]
+
+
+def build_graph(targets: Sequence[TargetSpec]) -> TaskGraph:
+    """The standard campaign DAG: one 4-stage chain per target.
+
+    Dependencies are the *data* edges, not just the chain: inference
+    reads both the preprocess output (tokens) and the MSA output
+    (depth), and the report join reads all three — so each task lists
+    every upstream output it consumes and the runner can hand a task
+    exactly its declared inputs.
+    """
+    tasks: List[StageTask] = []
+    for target in targets:
+        upstream: List[str] = []
+        for stage in STAGES:
+            tid = task_id(target.target_id, stage)
+            tasks.append(
+                StageTask(
+                    task_id=tid,
+                    target_id=target.target_id,
+                    stage=stage,
+                    deps=tuple(upstream),
+                )
+            )
+            upstream.append(tid)
+    return TaskGraph(tasks)

@@ -290,6 +290,137 @@ def cmd_msa_precompute(args: argparse.Namespace) -> int:
     return 0
 
 
+def _campaign_targets(args: argparse.Namespace):
+    """Targets from ``--manifest`` or the ``--targets N`` seeded cohort."""
+    from .campaign import load_manifest, seeded_manifest
+
+    if args.manifest:
+        return load_manifest(args.manifest)
+    return seeded_manifest(args.targets, seed=args.seed)
+
+
+def _campaign_config(args: argparse.Namespace):
+    from .campaign import CampaignConfig
+
+    return CampaignConfig(
+        platform=args.platform,
+        threads=args.threads,
+        seed=args.seed,
+        max_tokens=args.max_tokens,
+        store_dir=args.store_dir,
+        store_budget_mb=args.store_budget_mb,
+    )
+
+
+def _campaign_run(args: argparse.Namespace, resume: bool) -> int:
+    from .campaign import CampaignKilled, run_campaign
+
+    plan = ExecutionPlan(workers=args.workers, backend=args.backend)
+    kwargs = {}
+    if not resume:
+        kwargs["targets"] = _campaign_targets(args)
+        kwargs["config"] = _campaign_config(args)
+    try:
+        report = run_campaign(
+            args.dir, plan=plan,
+            kill_after=getattr(args, "kill_after", None), **kwargs,
+        )
+    except CampaignKilled as exc:
+        print(exc.report.render())
+        print(str(exc), file=sys.stderr)
+        return 3
+    if args.format == "json":
+        print(json.dumps(report.summary(), indent=2))
+    else:
+        print(report.render())
+    if report.stages_failed:
+        return 4
+    return 0
+
+
+def cmd_campaign_run(args: argparse.Namespace) -> int:
+    return _campaign_run(args, resume=False)
+
+
+def cmd_campaign_resume(args: argparse.Namespace) -> int:
+    return _campaign_run(args, resume=True)
+
+
+def cmd_campaign_report(args: argparse.Namespace) -> int:
+    from .campaign import (
+        CampaignState,
+        campaign_spans,
+        cohort_summary,
+        render_cohort_markdown,
+    )
+
+    state = CampaignState(args.dir)
+    targets, config_doc = state.load()
+    outputs = state.load_outputs()
+    summary = cohort_summary(outputs, targets, config_doc)
+    if args.trace:
+        from .observability import chrome_trace_json
+
+        recorder = campaign_spans(
+            outputs, targets, config_doc["stage_workers"]
+        )
+        text = chrome_trace_json(
+            recorder,
+            metadata={
+                "campaign": str(args.dir),
+                "platform": config_doc["platform"],
+                "seed": config_doc["seed"],
+            },
+        )
+        _write_out(text + "\n", args.trace)
+    if args.format == "json":
+        _write_out(json.dumps(summary, indent=2) + "\n", args.out)
+    elif args.format == "prometheus":
+        from .observability import campaign_prometheus_metrics
+
+        _write_out(campaign_prometheus_metrics(summary), args.out)
+    else:
+        _write_out(render_cohort_markdown(summary), args.out)
+    return 0
+
+
+def cmd_campaign_status(args: argparse.Namespace) -> int:
+    """Read-only progress scan — safe against a live campaign."""
+    from .campaign import CampaignState
+    from .core.report import render_table
+
+    state = CampaignState(args.dir)
+    status = state.scan_status()
+    rows = [
+        (stage, c["total"], c["done"], c["failed"], c["blocked"],
+         c["pending"])
+        for stage, c in status.items()
+    ]
+    print(render_table(
+        ["Stage", "Total", "Done", "Failed", "Blocked", "Pending"], rows
+    ))
+    for doc in state.failed_records():
+        print(f"failed {doc['task']}: {doc.get('error', '')}")
+    total = sum(c["total"] for c in status.values())
+    done = sum(c["done"] for c in status.values())
+    print(f"{done}/{total} stage outputs done")
+    return 0
+
+
+def cmd_campaign_differential(args: argparse.Namespace) -> int:
+    from .campaign import kill_resume_differential
+
+    result = kill_resume_differential(
+        args.dir,
+        _campaign_targets(args),
+        config=_campaign_config(args),
+        kill_after=args.kill_after or 5,
+        plan=ExecutionPlan(workers=args.workers, backend=args.backend),
+    )
+    print(result.render())
+    return 0 if result.passed else 4
+
+
 def cmd_chaos(args: argparse.Namespace) -> int:
     import dataclasses
     import os
@@ -808,6 +939,98 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--format", choices=["text", "json"],
                        default="text")
     chaos.set_defaults(func=cmd_chaos)
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="run a resumable multi-target batch campaign "
+             "(preprocess -> msa -> inference -> report) with "
+             "checkpointed stages and cohort reporting",
+    )
+    campaign_sub = campaign.add_subparsers(
+        dest="campaign_command", required=True
+    )
+
+    campaign_exec = argparse.ArgumentParser(add_help=False)
+    campaign_exec.add_argument("--dir", required=True,
+                               help="campaign state directory")
+    campaign_exec.add_argument("--workers", type=int, default=1,
+                               help="real shard workers per stage wave "
+                                    "(results are byte-identical for "
+                                    "any count)")
+    campaign_exec.add_argument("--backend", default="auto",
+                               choices=["auto", "serial", "thread",
+                                        "process"])
+    campaign_exec.add_argument("--format", choices=["text", "json"],
+                               default="text")
+
+    campaign_cohort = argparse.ArgumentParser(add_help=False)
+    campaign_cohort.add_argument("--manifest", default=None,
+                                 help="CSV/JSON target manifest "
+                                      "(see docs/campaign.md)")
+    campaign_cohort.add_argument("--targets", type=int, default=12,
+                                 help="seeded cohort size when no "
+                                      "--manifest is given")
+    campaign_cohort.add_argument("--platform", default="Server",
+                                 choices=sorted(PLATFORMS))
+    campaign_cohort.add_argument("--threads", type=int, default=8)
+    campaign_cohort.add_argument("--max-tokens", type=int, default=0,
+                                 help="admission limit; targets over it "
+                                      "fail preprocess (0 disables)")
+    campaign_cohort.add_argument("--store-dir", default=None,
+                                 help="shared feature store for MSA "
+                                      "chain read-through")
+    campaign_cohort.add_argument("--store-budget-mb", type=float,
+                                 default=64.0)
+
+    campaign_run = campaign_sub.add_parser(
+        "run", parents=[campaign_exec, campaign_cohort],
+        help="start (or idempotently continue) a campaign",
+    )
+    campaign_run.add_argument("--kill-after", type=int, default=None,
+                              help="fault injection: simulate a kill "
+                                   "after N persisted stage outputs")
+    campaign_run.set_defaults(func=cmd_campaign_run)
+
+    campaign_resume = campaign_sub.add_parser(
+        "resume", parents=[campaign_exec],
+        help="finish an interrupted campaign (recomputes zero "
+             "finished stages)",
+    )
+    campaign_resume.set_defaults(func=cmd_campaign_resume)
+
+    campaign_report = campaign_sub.add_parser(
+        "report",
+        help="aggregate the cohort report from a campaign directory",
+    )
+    campaign_report.add_argument("--dir", required=True)
+    campaign_report.add_argument("--format",
+                                 choices=["markdown", "json",
+                                          "prometheus"],
+                                 default="markdown")
+    campaign_report.add_argument("--out", default=None,
+                                 help="write to a file instead of stdout")
+    campaign_report.add_argument("--trace", default=None,
+                                 help="also write the simulated campaign "
+                                      "timeline as a Chrome/Perfetto "
+                                      "trace to this path")
+    campaign_report.set_defaults(func=cmd_campaign_report)
+
+    campaign_status = campaign_sub.add_parser(
+        "status",
+        help="per-stage done/failed/blocked/pending counts (read-only, "
+             "safe against a live campaign)",
+    )
+    campaign_status.add_argument("--dir", required=True)
+    campaign_status.set_defaults(func=cmd_campaign_status)
+
+    campaign_diff = campaign_sub.add_parser(
+        "differential", parents=[campaign_exec, campaign_cohort],
+        help="kill/resume audit: interrupted+resumed campaign must "
+             "recompute 0 stages and match the clean report byte for "
+             "byte",
+    )
+    campaign_diff.add_argument("--kill-after", type=int, default=5)
+    campaign_diff.set_defaults(func=cmd_campaign_differential)
 
     cluster_common = argparse.ArgumentParser(add_help=False)
     cluster_common.add_argument("--jobs", type=int, default=60,

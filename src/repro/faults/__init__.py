@@ -10,6 +10,7 @@ fault schedules against the gateway and checks its invariants.
 acyclic.
 """
 
+from .kill import KillSwitch, SimulatedKill
 from .plan import (
     FaultEvent,
     FaultKind,
@@ -40,8 +41,10 @@ __all__ = [
     "FaultStats",
     "GPU_DOMAIN",
     "InvariantViolation",
+    "KillSwitch",
     "MSA_DOMAIN",
     "MsaCheckpoint",
+    "SimulatedKill",
     "WorkerHealth",
     "merge_plans",
     "restrict_kinds",

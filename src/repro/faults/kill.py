@@ -1,0 +1,47 @@
+"""Deterministic process-kill injection for resumable jobs.
+
+Crash testing a checkpointed batch job needs a kill that strikes at a
+*reproducible* point — "after the Nth durable write" — so the
+kill/resume differential can compare an interrupted campaign against
+an uninterrupted one byte for byte.  A :class:`KillSwitch` is that
+fault: the job under test calls :meth:`KillSwitch.record` after every
+durable completion, and the switch raises :class:`SimulatedKill` the
+moment the configured count is reached — modelling SIGKILL landing
+between one checkpoint and the next.
+
+Used by :mod:`repro.campaign` (stage-output granularity) and available
+to any other resumable job; ``after=None`` disables the switch, so
+production code paths can call :meth:`record` unconditionally.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["KillSwitch", "SimulatedKill"]
+
+
+class SimulatedKill(RuntimeError):
+    """The injected kill: the process 'dies' here, mid-campaign."""
+
+
+class KillSwitch:
+    """Raises :class:`SimulatedKill` after ``after`` recorded events."""
+
+    def __init__(self, after: Optional[int] = None) -> None:
+        if after is not None and after < 1:
+            raise ValueError("after must be >= 1 (or None to disable)")
+        self.after = after
+        self.count = 0
+
+    @property
+    def armed(self) -> bool:
+        return self.after is not None
+
+    def record(self) -> None:
+        """Count one durable completion; strike when the quota fills."""
+        self.count += 1
+        if self.after is not None and self.count >= self.after:
+            raise SimulatedKill(
+                f"simulated kill after {self.count} durable completions"
+            )

@@ -57,6 +57,7 @@ from .analysis import (
     reconcile_with_trace,
 )
 from .export import (
+    campaign_prometheus_metrics,
     chrome_trace_json,
     cluster_prometheus_metrics,
     prometheus_metrics,
@@ -86,6 +87,7 @@ __all__ = [
     "SpanTree",
     "build_tree",
     "build_trees",
+    "campaign_prometheus_metrics",
     "chrome_trace_json",
     "cluster_prometheus_metrics",
     "critical_path",

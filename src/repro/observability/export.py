@@ -453,3 +453,73 @@ def cluster_prometheus_metrics(report, prefix: str = "afsys_cluster") -> str:
             lines.append(f"# TYPE {name} {kind}")
             lines.append(f"{name}{labels} {value}")
     return "\n".join(lines) + "\n"
+
+
+# -- campaign Prometheus exposition ---------------------------------------
+
+#: cohort summary field -> (metric suffix, type, help text).
+_CAMPAIGN_FIELDS = [
+    ("targets", "targets_total", "gauge", "Targets in the cohort manifest."),
+    ("targets_completed", "targets_completed", "gauge",
+     "Targets whose full stage chain finished ok."),
+    ("targets_failed", "targets_failed", "gauge",
+     "Targets with at least one failed stage."),
+    ("tasks_done", "stage_outputs_done", "gauge",
+     "Stage outputs persisted as ok checkpoints."),
+    ("tasks_failed", "stage_outputs_failed", "gauge",
+     "Stage outputs persisted as failed."),
+    ("msa_seconds_total", "msa_seconds", "gauge",
+     "Cohort simulated MSA seconds (paper Fig 7 numerator)."),
+    ("inference_seconds_total", "inference_seconds", "gauge",
+     "Cohort simulated inference seconds."),
+    ("cohort_msa_fraction", "msa_fraction_ratio", "gauge",
+     "MSA share of MSA+inference time across the cohort."),
+    ("serial_seconds", "serial_seconds", "gauge",
+     "Sum of all simulated stage seconds (one-worker campaign)."),
+    ("pipeline_makespan_seconds", "pipeline_makespan_seconds", "gauge",
+     "Modeled makespan under the configured stage pools."),
+    ("pipeline_speedup", "pipeline_speedup_ratio", "gauge",
+     "Serial seconds over modeled makespan."),
+]
+
+
+def campaign_prometheus_metrics(summary, prefix: str = "afsys_campaign") -> str:
+    """Prometheus text exposition of a campaign cohort summary.
+
+    Takes the :func:`repro.campaign.cohort_summary` document (already a
+    plain mapping — campaigns have no live report object, the summary
+    *is* the durable surface).  Same contract as the serving and
+    cluster expositions: fixed names and ordering, platform label,
+    byte-identical for the same summary.
+    """
+    labels = f'{{platform="{summary["platform"]}"}}'
+    lines: List[str] = []
+    for field, suffix, mtype, help_text in _CAMPAIGN_FIELDS:
+        name = f"{prefix}_{suffix}"
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {mtype}")
+        lines.append(f"{name}{labels} {summary[field]}")
+    base = labels[:-1]
+    name = f"{prefix}_phase_seconds"
+    lines.append(
+        f"# HELP {name} Simulated seconds per campaign stage (Fig 3)."
+    )
+    lines.append(f"# TYPE {name} gauge")
+    for stage, seconds in summary["phase_seconds"].items():
+        lines.append(f'{name}{base},stage="{stage}"}} {seconds}')
+    name = f"{prefix}_phase_share_ratio"
+    lines.append(
+        f"# HELP {name} Share of simulated time per stage (Fig 3)."
+    )
+    lines.append(f"# TYPE {name} gauge")
+    for stage, share in summary["figures"]["fig3_phase_share"].items():
+        lines.append(f'{name}{base},stage="{stage}"}} {share}')
+    name = f"{prefix}_targets_by_complexity"
+    lines.append(
+        f"# HELP {name} Completed targets per complexity class "
+        f"(Table II)."
+    )
+    lines.append(f"# TYPE {name} gauge")
+    for cls, count in summary["complexity_histogram"].items():
+        lines.append(f'{name}{base},complexity="{cls}"}} {count}')
+    return "\n".join(lines) + "\n"

@@ -68,6 +68,11 @@ class ExecutionPlan:
         """The do-nothing plan: one worker, no chunking."""
         return cls(workers=1, backend="serial")
 
+    def with_workers(self, workers: int) -> "ExecutionPlan":
+        """This plan at a different worker count (per-stage plans in a
+        campaign derive from one CLI ``--workers`` value this way)."""
+        return dataclasses.replace(self, workers=workers)
+
     @property
     def is_serial(self) -> bool:
         return self.workers == 1 and self.chunk is None

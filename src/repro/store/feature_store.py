@@ -276,6 +276,11 @@ class FeatureStore:
         """Held keys, least-recently-used first."""
         return list(self._index)
 
+    def missing(self, keys) -> List[str]:
+        """The subset of ``keys`` the store does not hold, in input
+        order (batch planners use this to compute only the gap)."""
+        return [key for key in keys if key not in self._index]
+
     @property
     def total_bytes(self) -> int:
         return self._total

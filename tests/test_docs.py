@@ -28,6 +28,7 @@ EXECUTABLE_DOCS = [
     DOCS / "parallelism.md",
     DOCS / "kernels.md",
     DOCS / "cluster.md",
+    DOCS / "campaign.md",
 ]
 
 _FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)
@@ -93,3 +94,15 @@ class TestIntraRepoLinks:
         assert "docs/kernels.md" in readme
         assert "docs/feature_store.md" in readme
         assert "docs/cluster.md" in readme
+        assert "docs/campaign.md" in readme
+        assert "docs/README.md" in readme
+
+    def test_docs_index_covers_every_guide(self):
+        """docs/README.md is the index: every guide appears in it."""
+        index = (DOCS / "README.md").read_text()
+        for guide in sorted(DOCS.glob("*.md")):
+            if guide.name == "README.md":
+                continue
+            assert f"({guide.name})" in index, (
+                f"docs/README.md does not index {guide.name}"
+            )
