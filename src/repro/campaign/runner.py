@@ -79,10 +79,23 @@ class CampaignConfig:
     max_tokens: int = 0          # 0 = no admission limit
     store_dir: Optional[str] = None
     store_budget_mb: float = 64.0
+    #: Inference attention schedule for every target in the cohort:
+    #: ``"chunked"`` (production default, legacy admission),
+    #: ``"resident"`` (full O(N³) logits — long targets fail
+    #: admission), or ``"tiled"`` (the memory planner picks a block
+    #: per target against the platform's device memory; see
+    #: docs/memory_planner.md).  Persisted because it changes which
+    #: targets are admitted, i.e. the cohort's *results*.
+    attention: str = "chunked"
 
     def __post_init__(self) -> None:
         if self.threads < 1:
             raise ValueError("threads must be >= 1")
+        if self.attention not in ("chunked", "resident", "tiled"):
+            raise ValueError(
+                "attention must be 'chunked', 'resident' or 'tiled', "
+                f"got {self.attention!r}"
+            )
         unknown = set(self.stage_workers) - set(STAGES)
         if unknown:
             raise ValueError(
@@ -105,6 +118,7 @@ class CampaignConfig:
             max_tokens=self.max_tokens,
             store_dir=self.store_dir,
             store_budget_mb=self.store_budget_mb,
+            attention=self.attention,
         )
 
     @classmethod
@@ -117,6 +131,9 @@ class CampaignConfig:
             max_tokens=int(doc.get("max_tokens", 0)),
             store_dir=doc.get("store_dir"),
             store_budget_mb=float(doc.get("store_budget_mb", 64.0)),
+            # Campaigns persisted before the planner existed carry no
+            # attention field; they resume under the legacy schedule.
+            attention=str(doc.get("attention", "chunked")),
         )
 
 
@@ -284,6 +301,7 @@ def run_campaign(
         platform=config.platform,
         threads=config.threads,
         max_tokens=config.max_tokens,
+        attention=config.attention,
     )
 
     executed_by_stage: "OrderedDict[str, int]" = OrderedDict()

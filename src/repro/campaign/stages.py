@@ -139,26 +139,54 @@ def _msa(
 def _inference(
     target: TargetSpec, context: Dict, upstream: Dict
 ) -> "OrderedDict":
+    """Inference under the campaign's attention schedule.
+
+    ``"chunked"`` keeps the legacy admission behaviour (unified-memory
+    spill allowed).  The explicit schedules run with strict admission:
+    ``"resident"`` fails targets whose full logits exceed the device,
+    and ``"tiled"`` asks the memory planner for a block that fits this
+    platform — an infeasible plan is an admission failure with the
+    planner's actionable message, never a silent fallback.
+    """
     preprocess = upstream[task_id(target.target_id, "preprocess")]
     msa = upstream[task_id(target.target_id, "msa")]
     platform = get_platform(context["platform"])
+    attention = str(context.get("attention") or "chunked")
+    tokens = int(preprocess["tokens"])
+    attention_block = None
+    if attention == "tiled":
+        from ..model.memory_planner import MemoryBudgetError, plan_for_device
+
+        try:
+            plan = plan_for_device(
+                tokens, platform.gpu.memory_bytes, allow_resident=False
+            )
+        except MemoryBudgetError as exc:
+            raise StageError(
+                f"target {target.target_id!r} fails memory-planner "
+                f"admission on {platform.name}: {exc}"
+            ) from exc
+        attention_block = plan.attention_block
     simulator = InferenceSimulator(
         platform.gpu,
         platform.host_single_thread_ips,
         host_thread_penalty=platform.inference_thread_penalty,
+        chunked_triangle=(attention != "resident"),
+        attention_block=attention_block,
     )
     try:
         breakdown = simulator.run(
-            int(preprocess["tokens"]),
+            tokens,
             threads=int(context["threads"]),
             msa_depth=int(msa["msa_depth"]),
+            allow_unified_memory=(attention == "chunked"),
         )
     except GpuOutOfMemoryError as exc:
         raise StageError(
             f"target {target.target_id!r} inference OOMs on "
             f"{platform.name}: {exc}"
         ) from exc
-    return OrderedDict(
+    body = OrderedDict(
         inference_seconds=_round(breakdown.total),
         breakdown=OrderedDict(
             (phase, _round(seconds))
@@ -170,6 +198,13 @@ def _inference(
         ),
         simulated_seconds=_round(breakdown.total),
     )
+    if attention != "chunked":
+        # Only the explicit schedules record themselves, keeping
+        # legacy campaign outputs byte-identical.
+        body["attention"] = attention
+        if attention_block is not None:
+            body["attention_block"] = attention_block
+    return body
 
 
 def _report(

@@ -21,6 +21,7 @@ from typing import List, Optional
 from .core.pipeline import Af3Pipeline
 from .core.runner import BenchmarkRunner
 from .core.suite import AfSysBench
+from .hardware.gpu import GpuOutOfMemoryError
 from .hardware.memory import OutOfMemoryError
 from .hardware.platform import PLATFORMS, get_platform
 from .msa.engine import MsaEngine, MsaEngineConfig
@@ -74,19 +75,63 @@ def cmd_run(args: argparse.Namespace) -> int:
         workers=getattr(args, "workers", 1),
         kernel=getattr(args, "kernel", "batched"),
     )
+    attention = getattr(args, "attention", "chunked")
+    budget_mb = getattr(args, "memory_budget_mb", None)
+    if budget_mb is not None and attention != "tiled":
+        print("--memory-budget-mb requires --attention tiled",
+              file=sys.stderr)
+        return 2
+    memory_plan = None
+    attention_block = None
+    if attention == "tiled":
+        from .model.memory_planner import (
+            MemoryBudgetError, plan_for_device, plan_memory,
+        )
+
+        tokens = sample.assembly.num_tokens
+        try:
+            if budget_mb is not None:
+                memory_plan = plan_memory(
+                    tokens, budget_mb * 1024.0 * 1024.0,
+                    allow_resident=False,
+                )
+            else:
+                memory_plan = plan_for_device(
+                    tokens, platform.gpu.memory_bytes,
+                    allow_resident=False,
+                )
+        except MemoryBudgetError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        attention_block = memory_plan.attention_block
+        # Realise the planned schedule on the functional substrate too,
+        # so the numpy model runs the same tiles the plan promises.
+        plan = memory_plan.execution_plan(plan)
     pipeline = Af3Pipeline(
-        platform, msa_engine=_small_engine(args.seed, plan), plan=plan
+        platform, msa_engine=_small_engine(args.seed, plan), plan=plan,
+        attention=attention, attention_block=attention_block,
     )
     try:
-        result = pipeline.run(sample, threads=args.threads)
+        result = pipeline.run(
+            sample, threads=args.threads,
+            allow_unified_memory=(attention == "chunked"),
+        )
     except OutOfMemoryError as exc:
         print(f"OOM: {exc}", file=sys.stderr)
         return 2
+    except GpuOutOfMemoryError as exc:
+        print(
+            f"GPU OOM under --attention {attention}: {exc}\n"
+            "Try --attention tiled (the memory planner picks a block "
+            "that fits).", file=sys.stderr,
+        )
+        return 2
     if args.format == "json":
-        print(json.dumps({
+        doc = {
             "sample": result.sample_name,
             "platform": result.platform_name,
             "threads": result.threads,
+            "attention": attention,
             "msa_seconds": result.msa_seconds,
             "inference_seconds": result.inference_seconds,
             "msa_fraction": result.msa_fraction,
@@ -95,8 +140,13 @@ def cmd_run(args: argparse.Namespace) -> int:
             "disk_utilization": result.iostat.utilization,
             "ipc": result.msa_report.ipc,
             "llc_miss_pct": result.msa_report.llc_miss_pct,
-        }, indent=2))
+        }
+        if memory_plan is not None:
+            doc["memory_plan"] = memory_plan.summary()
+        print(json.dumps(doc, indent=2))
     else:
+        if memory_plan is not None:
+            print(memory_plan.render())
         print(f"{result.sample_name} on {result.platform_name} "
               f"({result.threads} threads)")
         print(f"  MSA:       {result.msa_seconds:10.1f} s "
@@ -164,7 +214,12 @@ def cmd_estimate(args: argparse.Namespace) -> int:
     from .core.estimator import estimate
 
     sample = _resolve_sample(args)
-    report = estimate(sample.assembly, threads=args.threads)
+    attention = getattr(args, "attention", "chunked")
+    attention_block = getattr(args, "attention_block", None)
+    report = estimate(
+        sample.assembly, threads=args.threads,
+        attention=attention, attention_block=attention_block,
+    )
     print(report.render())
     return 0 if report.safe_somewhere else 3
 
@@ -309,6 +364,7 @@ def _campaign_config(args: argparse.Namespace):
         max_tokens=args.max_tokens,
         store_dir=args.store_dir,
         store_budget_mb=args.store_budget_mb,
+        attention=getattr(args, "attention", "chunked"),
     )
 
 
@@ -795,6 +851,18 @@ def build_parser() -> argparse.ArgumentParser:
                           "runs the length-bucketed tensor cascade, "
                           "'scalar' the per-target loop (results are "
                           "bit-identical either way)")
+    run.add_argument("--attention",
+                     choices=["chunked", "resident", "tiled"],
+                     default="chunked",
+                     help="inference attention schedule: chunked "
+                          "(production default), resident (full O(N^3) "
+                          "logits, strict admission), or tiled (the "
+                          "memory planner picks a block; see "
+                          "docs/memory_planner.md)")
+    run.add_argument("--memory-budget-mb", type=float, default=None,
+                     help="schedulable-workspace budget (MiB) for the "
+                          "tiled planner; default plans against the "
+                          "platform's device memory")
     run.add_argument("--format", choices=["text", "json"], default="text")
     run.set_defaults(func=cmd_run)
 
@@ -822,6 +890,13 @@ def build_parser() -> argparse.ArgumentParser:
     estimate.add_argument("--sample", default="6QNR")
     estimate.add_argument("--json", help="AF3 JSON input file")
     estimate.add_argument("--threads", type=int, default=8)
+    estimate.add_argument("--attention",
+                          choices=["chunked", "resident", "tiled"],
+                          default="chunked",
+                          help="attention schedule the GPU demand is "
+                               "computed for")
+    estimate.add_argument("--attention-block", type=int, default=None,
+                          help="tile block for --attention tiled")
     estimate.set_defaults(func=cmd_estimate)
 
     serve = sub.add_parser(
@@ -981,6 +1056,13 @@ def build_parser() -> argparse.ArgumentParser:
                                       "chain read-through")
     campaign_cohort.add_argument("--store-budget-mb", type=float,
                                  default=64.0)
+    campaign_cohort.add_argument("--attention",
+                                 choices=["chunked", "resident", "tiled"],
+                                 default="chunked",
+                                 help="inference attention schedule for "
+                                      "the whole cohort (tiled = memory-"
+                                      "planner admission; persisted with "
+                                      "the campaign)")
 
     campaign_run = campaign_sub.add_parser(
         "run", parents=[campaign_exec, campaign_cohort],

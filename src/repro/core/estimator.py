@@ -55,6 +55,11 @@ class MemoryEstimate:
     dominant_chain: str
     gpu_demand_bytes: float
     verdicts: List[PlatformVerdict]
+    #: Attention schedule the GPU demand was computed for: ``"chunked"``
+    #: (production default), ``"resident"`` (full O(N³) logits), or
+    #: ``"tiled"`` (a planner block; see docs/memory_planner.md).
+    attention: str = "chunked"
+    attention_block: Optional[int] = None
 
     @property
     def safe_somewhere(self) -> bool:
@@ -138,12 +143,34 @@ def estimate(
     assembly: Assembly,
     threads: int = 8,
     platforms: Optional[Sequence[Platform]] = None,
+    attention: str = "chunked",
+    attention_block: Optional[int] = None,
 ) -> MemoryEstimate:
-    """Run the static pre-check for one assembly."""
+    """Run the static pre-check for one assembly.
+
+    ``attention`` selects which attention schedule the GPU demand is
+    computed for.  The historical pre-check tracked the pair stack
+    only (the workspace term was a folded constant); making the
+    schedule explicit means the resident path's O(N³) attention
+    intermediates — the paper's Fig. 5 blow-up — are accounted for,
+    and a planner-chosen tile (``attention="tiled"`` with
+    ``attention_block``) shows exactly how much of that demand a
+    bounded workspace removes.  The default is the production chunked
+    schedule and is bit-identical to the historical estimate.
+    """
     if threads < 1:
         raise ValueError("threads must be >= 1")
+    if attention not in ("chunked", "resident", "tiled"):
+        raise ValueError(
+            "attention must be 'chunked', 'resident' or 'tiled', "
+            f"got {attention!r}"
+        )
     msa_peak = estimate_msa_peak_bytes(assembly, threads)
-    gpu_demand = WEIGHTS_BYTES + activation_memory_bytes(assembly.num_tokens)
+    gpu_demand = WEIGHTS_BYTES + activation_memory_bytes(
+        assembly.num_tokens,
+        chunked_triangle=(attention != "resident"),
+        attention_block=attention_block if attention == "tiled" else None,
+    )
     verdicts = []
     for platform in platforms or DEFAULT_PLATFORMS:
         gpu_spills = gpu_demand > platform.gpu.memory_bytes
@@ -161,4 +188,6 @@ def estimate(
         dominant_chain=dominant_msa_chain(assembly, threads),
         gpu_demand_bytes=gpu_demand,
         verdicts=verdicts,
+        attention=attention,
+        attention_block=attention_block if attention == "tiled" else None,
     )

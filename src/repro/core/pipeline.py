@@ -82,19 +82,38 @@ class Af3Pipeline:
         msa_engine: Optional[MsaEngine] = None,
         model_config: Optional[ModelConfig] = None,
         plan: Optional[ExecutionPlan] = None,
+        attention: str = "chunked",
+        attention_block: Optional[int] = None,
     ) -> None:
+        """``attention`` selects the inference attention schedule:
+        ``"chunked"`` (production default), ``"resident"`` (full
+        O(N³) logits — long targets fail admission, reproducing the
+        paper's Fig. 5 blow-up), or ``"tiled"`` (a memory-planner
+        block; pass the planner's ``attention_block``).  See
+        docs/memory_planner.md."""
+        if attention not in ("chunked", "resident", "tiled"):
+            raise ValueError(
+                "attention must be 'chunked', 'resident' or 'tiled', "
+                f"got {attention!r}"
+            )
         self.platform = platform
         # The plan controls how the *functional* MSA scans execute
         # (real workers); it never changes simulated results.
         self.plan = plan or ExecutionPlan.serial()
         self.msa_engine = msa_engine or MsaEngine(plan=self.plan)
         self.model_config = model_config or ModelConfig.af3()
+        self.attention = attention
+        self.attention_block = (
+            attention_block if attention == "tiled" else None
+        )
         self._cpu_sim = CpuSimulator(platform.cpu)
         self._inference_sim = InferenceSimulator(
             platform.gpu,
             platform.host_single_thread_ips,
             config=self.model_config,
             host_thread_penalty=platform.inference_thread_penalty,
+            chunked_triangle=(attention != "resident"),
+            attention_block=self.attention_block,
         )
 
     def run(

@@ -99,14 +99,32 @@ class InferenceServer:
         platform: Platform,
         model_config: Optional[ModelConfig] = None,
         buckets=DEFAULT_BUCKETS,
+        attention: str = "chunked",
+        attention_block: Optional[int] = None,
     ) -> None:
+        """``attention``/``attention_block`` pick the worker's
+        attention schedule (``"chunked"`` default, ``"resident"``, or
+        a memory-planner ``"tiled"`` block — see
+        docs/memory_planner.md); they change admission (memory demand
+        per batch) exactly as on :class:`Af3Pipeline`."""
+        if attention not in ("chunked", "resident", "tiled"):
+            raise ValueError(
+                "attention must be 'chunked', 'resident' or 'tiled', "
+                f"got {attention!r}"
+            )
         self.platform = platform
         self.buckets = tuple(sorted(buckets))
+        self.attention = attention
+        self.attention_block = (
+            attention_block if attention == "tiled" else None
+        )
         self._sim = InferenceSimulator(
             platform.gpu,
             platform.host_single_thread_ips,
             config=model_config or ModelConfig.af3(),
             host_thread_penalty=platform.inference_thread_penalty,
+            chunked_triangle=(attention != "resident"),
+            attention_block=self.attention_block,
         )
         self._initialized = False
         self._compiled_buckets: Dict[int, float] = {}

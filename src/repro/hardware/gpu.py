@@ -133,27 +133,78 @@ FINALIZE_HOST_INSTRUCTIONS = 3.0e10   # output serialisation, teardown
 UNCHUNKED_TRIANGLE_SPEEDUP = 1.08
 
 
+#: Decomposition of the historical ~10.7 KiB/pair activation constant
+#: (see :func:`activation_memory_bytes`).  The pair stack — pair
+#: representation, per-block residuals kept for recycling, transition
+#: scratch — is irreducible per (i, j) pair; the triangle-attention
+#: workspace scales with how many *pair rows* of (heads, N, N) logits
+#: are live at once: two fp16 copies around the softmax times 16 heads
+#: times 2 bytes = 64 bytes per pair per live row.
+PAIR_STACK_BYTES_PER_PAIR = 10_444.0
+ATTENTION_WORKSPACE_BYTES_PER_PAIR_ROW = 64.0
+#: Pair rows per triangle-attention workspace tile in production AF3's
+#: default chunked schedule (folded into the old 10 700 constant:
+#: 10 444 + 4 * 64 = 10 700).
+PRODUCTION_ATTENTION_BLOCK = 4
+#: Token-count-independent base (CUDA context, cuDNN workspaces, ...).
+ACTIVATION_BASE_BYTES = 2.0e8
+
+
+def attention_workspace_bytes(
+    num_tokens: int, attention_block: Optional[int] = None
+) -> float:
+    """Live triangle-attention workspace bytes on device.
+
+    ``attention_block`` is the number of pair rows whose (heads, N, N)
+    fp16 logits are resident at once; ``None`` means the fully
+    resident path (all N rows) — the O(L²·heads) blow-up the paper's
+    Fig. 5 shows failing admission for long targets.
+    """
+    rows = (
+        float(num_tokens) if attention_block is None
+        else float(min(attention_block, num_tokens))
+    )
+    return ATTENTION_WORKSPACE_BYTES_PER_PAIR_ROW * rows * num_tokens ** 2
+
+
 def activation_memory_bytes(
-    num_tokens: int, chunked_triangle: bool = True
+    num_tokens: int,
+    chunked_triangle: bool = True,
+    attention_block: Optional[int] = None,
 ) -> float:
     """Peak device memory beyond weights, dominated by the pair stack.
 
     Calibrated so the paper's observed capacity events reproduce:
     6QNR (N=1395) exceeds the RTX 4080's 16 GiB and needs unified
-    memory, while promo (N=857) and below fit.  The ~10.7 KiB/pair
-    constant folds the pair stack, per-block residuals kept for
-    recycling, and the chunked triangle-attention workspaces.
+    memory, while promo (N=857) and below fit.  The total decomposes
+    into the irreducible pair stack plus the schedulable
+    triangle-attention workspace (:func:`attention_workspace_bytes`):
 
-    With ``chunked_triangle=False`` the (heads, N, N, N) attention
-    logits materialise in fp16 (two live copies around the softmax),
-    which is why production AF3 chunks: an unchunked promo-sized input
-    already needs tens of GiB and 6QNR exceeds even the H100.
+    * ``chunked_triangle=True, attention_block=None`` — production
+      AF3's default chunk schedule (:data:`PRODUCTION_ATTENTION_BLOCK`
+      live pair rows); identical to the historical
+      ``10 700 * N**2 + 2e8`` value.
+    * ``chunked_triangle=False`` — the resident path: all N rows of
+      (heads, N, N) fp16 logits live at once (two copies around the
+      softmax).  This is why production AF3 chunks: an unchunked
+      promo-sized input already needs tens of GiB and 6QNR exceeds
+      even the H100.
+    * ``attention_block=B`` — the memory planner's tiled schedule: B
+      live rows, so the workspace is O(N²·B) instead of O(N³).
     """
-    base = 10_700.0 * num_tokens ** 2 + 2.0e8
+    base = PAIR_STACK_BYTES_PER_PAIR * num_tokens ** 2 + ACTIVATION_BASE_BYTES
     if not chunked_triangle:
-        heads = 16
-        base += 2.0 * heads * float(num_tokens) ** 3 * 2.0
-    return base
+        block: Optional[int] = None        # fully resident
+        return base + attention_workspace_bytes(num_tokens, block)
+    if attention_block is None:
+        # The production default block is a calibration constant folded
+        # into the historical 10 700 B/pair figure; it is deliberately
+        # not clamped to small N so the default value is bit-preserved.
+        return base + (
+            ATTENTION_WORKSPACE_BYTES_PER_PAIR_ROW
+            * PRODUCTION_ATTENTION_BLOCK * num_tokens ** 2
+        )
+    return base + attention_workspace_bytes(num_tokens, attention_block)
 
 
 @dataclasses.dataclass
@@ -201,17 +252,26 @@ class InferenceSimulator:
         config: Optional[ModelConfig] = None,
         host_thread_penalty: float = 0.0,
         chunked_triangle: bool = True,
+        attention_block: Optional[int] = None,
     ) -> None:
         """``host_single_thread_ips``: the host CPU's 1-thread
         instructions/second (init/compile/dispatch are single-threaded).
         ``host_thread_penalty``: fractional init/compile slowdown per
         extra configured thread (allocator/NUMA contention; nonzero on
-        the Server, where Fig 6 shows small inputs degrading)."""
+        the Server, where Fig 6 shows small inputs degrading).
+        ``attention_block``: a memory-planner tile size — pair rows of
+        triangle-attention logits live at once (``None`` = production
+        default schedule; only meaningful with ``chunked_triangle``).
+        Tiled runs keep the chunked Table VI timing calibration — the
+        block is a memory knob, not a speed knob."""
+        if attention_block is not None and attention_block < 1:
+            raise ValueError("attention_block must be >= 1 (or None)")
         self.gpu = gpu
         self.host_ips = host_single_thread_ips
         self.config = config or ModelConfig.af3()
         self.host_thread_penalty = host_thread_penalty
         self.chunked_triangle = chunked_triangle
+        self.attention_block = attention_block
 
     def memory_demand_bytes(
         self, num_tokens: int, batch_size: int = 1
@@ -221,7 +281,9 @@ class InferenceSimulator:
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
         return WEIGHTS_BYTES + batch_size * activation_memory_bytes(
-            num_tokens, chunked_triangle=self.chunked_triangle
+            num_tokens,
+            chunked_triangle=self.chunked_triangle,
+            attention_block=self.attention_block,
         )
 
     def compute_seconds(

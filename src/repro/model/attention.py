@@ -11,6 +11,26 @@ concatenated chunks equal the unchunked result to the last bit (the
 differential tests pin this).  The 2-D q/k/v/gate/out projections are
 never chunked — BLAS gemm kernels are *not* bit-stable across M-dim
 splits — which is exactly the design rule docs/parallelism.md audits.
+
+Two scheduling modes share that blocked core:
+
+* ``plan.workers > 1`` (the PR 4 path) splits the leading axis evenly
+  across a thread pool — a *throughput* knob; every chunk's logits are
+  live at once, so peak workspace is unchanged.
+* ``plan.attention == "tiled"`` streams *fixed-size* tiles sequentially
+  through one bounded workspace and writes each tile into a
+  preallocated output — a *memory* knob (flash-style scheduling): peak
+  attention workspace drops from O(L²·heads) resident to O(L·block),
+  because only one tile's (block, H, L, L) logits are ever live.
+
+Why tiling the leading batch axis, and not streaming the softmax along
+the key axis: a true running-max/rescale streaming softmax changes the
+order in which ``np.sum``'s pairwise reduction combines terms, so it
+cannot reproduce the resident reduction bit for bit.  Leading-axis
+tiles compute each batch element's full softmax row exactly as the
+resident path does, which is what lets the differential suite compare
+with ``==`` rather than ``allclose``.  The workspace bound is the same
+O(L·block) either way.
 """
 
 from __future__ import annotations
@@ -89,7 +109,9 @@ class MultiHeadAttention:
         q = split_heads(linear(x_q, self.params["q"], counter), self.num_heads)
         k = split_heads(linear(x_kv, self.params["k"], counter), self.num_heads)
         v = split_heads(linear(x_kv, self.params["v"], counter), self.num_heads)
-        if plan is not None and not plan.is_serial and q.ndim >= 3:
+        if plan is not None and plan.is_tiled and q.ndim >= 3:
+            context = self._tiled_core(q, k, v, bias, counter, plan)
+        elif plan is not None and not plan.is_serial and q.ndim >= 3:
             context = self._chunked_core(q, k, v, bias, counter, plan)
         else:
             logits = matmul(q, np.swapaxes(k, -1, -2), counter) / np.sqrt(
@@ -103,17 +125,16 @@ class MultiHeadAttention:
         gate = sigmoid(linear(x_q, self.params["gate"], counter), counter)
         return linear(merged * gate, self.params["out"], counter)
 
-    def _chunked_core(
+    def _block_fn(
         self,
         q: np.ndarray,
         k: np.ndarray,
         v: np.ndarray,
         bias: Optional[np.ndarray],
-        counter: Optional[OpCounter],
-        plan: ExecutionPlan,
-    ) -> np.ndarray:
-        """logits -> softmax -> context, chunked along ``q``'s leading
-        axis (batch rows, or heads when there is no batch axis)."""
+    ):
+        """Closure computing logits -> softmax -> context for one
+        ``[lo, hi)`` slice of ``q``'s leading axis (batch rows, or
+        heads when there is no batch axis)."""
         denom = np.sqrt(self.head_dim)
         # Which bias axis lines up with q's axis 0 (right-aligned
         # broadcasting); size-1 axes broadcast and are never sliced.
@@ -123,7 +144,7 @@ class MultiHeadAttention:
             if axis >= 0 and bias.shape[axis] != 1:
                 bias_axis = axis
 
-        def one_chunk(lo_hi):
+        def one_block(lo_hi):
             lo, hi = lo_hi
             logits = np.matmul(
                 q[lo:hi], np.swapaxes(k[lo:hi], -1, -2)
@@ -138,6 +159,69 @@ class MultiHeadAttention:
             weights = softmax(logits, axis=-1)
             return np.matmul(weights, v[lo:hi])
 
+        return one_block
+
+    def _record_core(
+        self,
+        counter: OpCounter,
+        q: np.ndarray,
+        k: np.ndarray,
+        v: np.ndarray,
+        context: np.ndarray,
+        workspace_rows: int,
+    ) -> None:
+        """Record the serial path's matmul/softmax/matmul totals (all
+        three are linear in the batch axis, so the totals are identical
+        for any blocking).  ``workspace_rows`` bounds the *live* logits
+        rows — the full leading axis for worker chunking (every chunk
+        is live at once on the pool), one tile for tiled streaming —
+        and only affects the ``activations_bytes`` peak, never totals.
+        """
+        lk = k.shape[-2]
+        logits_size = (q.size // self.head_dim) * lk
+        # The raw q @ k^T product keeps the input dtype; the 1/sqrt(d)
+        # scale is an np.float64 scalar and promotes the scaled logits
+        # (and everything downstream) to float64 — mirror both so the
+        # blocked totals equal the serial matmul/softmax/matmul records
+        # bit for bit.
+        raw_nbytes = float(
+            logits_size * np.result_type(q.dtype, k.dtype).itemsize
+        )
+        post_nbytes = float(logits_size * context.dtype.itemsize)
+        rows = max(1, q.shape[0])
+        frac = min(workspace_rows, rows) / rows
+        counter.record(
+            flops=2.0 * logits_size * self.head_dim,
+            bytes_read=float(q.nbytes + k.nbytes),
+            bytes_written=raw_nbytes,
+            activations_bytes=raw_nbytes * frac,
+        )
+        counter.record(
+            flops=5.0 * logits_size,
+            bytes_read=post_nbytes,
+            bytes_written=post_nbytes,
+            activations_bytes=post_nbytes * frac,
+        )
+        counter.record(
+            flops=2.0 * context.size * lk,
+            bytes_read=post_nbytes + float(v.nbytes),
+            bytes_written=float(context.nbytes),
+            activations_bytes=float(context.nbytes),
+        )
+
+    def _chunked_core(
+        self,
+        q: np.ndarray,
+        k: np.ndarray,
+        v: np.ndarray,
+        bias: Optional[np.ndarray],
+        counter: Optional[OpCounter],
+        plan: ExecutionPlan,
+    ) -> np.ndarray:
+        """Worker chunking (PR 4): the leading axis split evenly across
+        a thread pool.  A throughput knob — all chunks are live at
+        once, so peak workspace matches the resident path."""
+        one_chunk = self._block_fn(q, k, v, bias)
         bounds = plan.chunk_bounds(q.shape[0])
         if plan.workers > 1 and len(bounds) > 1:
             with ThreadPoolExecutor(max_workers=plan.workers) as pool:
@@ -146,27 +230,43 @@ class MultiHeadAttention:
             chunks = [one_chunk(b) for b in bounds]
         context = np.concatenate(chunks, axis=0)
         if counter is not None:
-            # Same totals the serial matmul/softmax/matmul path records
-            # (all three are linear in the batch axis).
-            lq, lk = q.shape[-2], k.shape[-2]
-            logits_size = (q.size // self.head_dim) * lk
-            logits_nbytes = float(logits_size * context.dtype.itemsize)
-            counter.record(
-                flops=2.0 * logits_size * self.head_dim,
-                bytes_read=float(q.nbytes + k.nbytes),
-                bytes_written=logits_nbytes,
-                activations_bytes=logits_nbytes,
-            )
-            counter.record(
-                flops=5.0 * logits_size,
-                bytes_read=logits_nbytes,
-                bytes_written=logits_nbytes,
-                activations_bytes=logits_nbytes,
-            )
-            counter.record(
-                flops=2.0 * context.size * lk,
-                bytes_read=logits_nbytes + float(v.nbytes),
-                bytes_written=float(context.nbytes),
-                activations_bytes=float(context.nbytes),
-            )
+            self._record_core(counter, q, k, v, context, q.shape[0])
         return context
+
+    def _tiled_core(
+        self,
+        q: np.ndarray,
+        k: np.ndarray,
+        v: np.ndarray,
+        bias: Optional[np.ndarray],
+        counter: Optional[OpCounter],
+        plan: ExecutionPlan,
+    ) -> np.ndarray:
+        """Tiled streaming (flash-style scheduling): fixed-size tiles
+        of the leading axis run *sequentially* through one bounded
+        workspace and land in a preallocated output.
+
+        Peak live workspace is one tile's (block, H, Lq, Lk) logits
+        instead of the resident (rows, H, Lq, Lk) tensor.  Tiles are
+        never run on a pool — parallel tiles would multiply the
+        workspace by the worker count, which is exactly what the
+        memory planner is bounding.  Each tile equals the matching
+        slice of the resident result bit for bit (leading-batch-axis
+        slicing of batched matmul / broadcast add / last-axis softmax),
+        so the assembled output is ``==`` the resident path.
+        """
+        one_tile = self._block_fn(q, k, v, bias)
+        out: Optional[np.ndarray] = None
+        for lo, hi in plan.tile_bounds(q.shape[0]):
+            tile = one_tile((lo, hi))
+            if out is None:
+                out = np.empty(
+                    q.shape[:-1] + (tile.shape[-1],), dtype=tile.dtype
+                )
+            out[lo:hi] = tile
+        assert out is not None  # q.shape[0] >= 1 for any real input
+        if counter is not None:
+            self._record_core(
+                counter, q, k, v, out, plan.tile_rows(q.shape[0])
+            )
+        return out

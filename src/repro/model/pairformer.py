@@ -71,6 +71,10 @@ class PairformerBlock:
 
         ``plan`` opts the triangle contractions and attention cores
         into chunked/threaded execution (bit-equal for every plan).
+        A tiled plan additionally streams each core through a bounded
+        workspace — pair-row tiles for the triangle layers, head tiles
+        for single attention — under the memory planner's block size
+        (see :mod:`repro.model.memory_planner`); still bit-equal.
         """
         counter = counter or OpCounter()
         with counter.scope("pairformer.triangle_mult_outgoing"):

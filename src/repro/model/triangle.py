@@ -75,20 +75,44 @@ class TriangleMultiplication:
         output-row chunks (optionally on a thread pool); each output
         row block is an independent einsum over the full ``k`` axis, so
         the chunked result is bit-equal to the one-shot contraction.
+        A tiled plan (``plan.attention == "tiled"``) instead streams
+        fixed-size output-row tiles sequentially — same bit-exact
+        decomposition, but the einsum scratch is bounded by one tile.
+
+        When the plan lists ``"triangle_mult"`` in
+        ``recompute_scopes``, the normalised input ``zn`` — an
+        (N, N, c_pair) retained activation — is freed before the cubic
+        contraction and recomputed for the output gate afterwards.
+        ``layer_norm`` is a deterministic elementwise function of ``z``
+        (still live), so the recomputed tensor is bit-identical; the
+        trade records the extra layer-norm FLOPs against the counter.
         """
         if z.ndim != 3 or z.shape[0] != z.shape[1]:
             raise ValueError("pair representation must be (N, N, c)")
-        zn = layer_norm(z, self.norm_in["gamma"], self.norm_in["beta"], counter)
+        recompute = plan is not None and "triangle_mult" in plan.recompute_scopes
+        zn: Optional[np.ndarray] = layer_norm(
+            z, self.norm_in["gamma"], self.norm_in["beta"], counter
+        )
         a = linear(zn, self.proj_a, counter) * sigmoid(
             linear(zn, self.gate_a, counter), counter
         )
         b = linear(zn, self.proj_b, counter) * sigmoid(
             linear(zn, self.gate_b, counter), counter
         )
+        if recompute:
+            zn = None  # planner chose flops-for-bytes: drop the
+            #            retained (N, N, c_pair) activation here and
+            #            recompute it for the gate after the peak
         # Outgoing: out[i,j] = sum_k a[i,k,:] * b[j,k,:]
         # Incoming: out[i,j] = sum_k a[k,i,:] * b[k,j,:]
-        if plan is not None and not plan.is_serial:
-            contracted = self._chunked_contract(a, b, plan)
+        if plan is not None and plan.is_tiled:
+            contracted = self._blocked_contract(
+                a, b, plan.tile_bounds(a.shape[0]), workers=1
+            )
+        elif plan is not None and not plan.is_serial:
+            contracted = self._blocked_contract(
+                a, b, plan.chunk_bounds(a.shape[0]), workers=plan.workers
+            )
         elif self.outgoing:
             contracted = np.einsum("ikc,jkc->ijc", a, b)
         else:
@@ -104,34 +128,44 @@ class TriangleMultiplication:
         normed = layer_norm(
             contracted, self.norm_out["gamma"], self.norm_out["beta"], counter
         )
+        if zn is None:
+            zn = layer_norm(
+                z, self.norm_in["gamma"], self.norm_in["beta"], counter
+            )
         gate = sigmoid(linear(zn, self.gate_out, counter), counter)
         return linear(normed, self.proj_out, counter) * gate
 
-    def _chunked_contract(
-        self, a: np.ndarray, b: np.ndarray, plan: ExecutionPlan
+    def _blocked_contract(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        bounds,
+        workers: int,
     ) -> np.ndarray:
-        """The triangle contraction in output-row chunks.
+        """The triangle contraction in output-row blocks.
 
-        Chunks write disjoint row blocks of a preallocated output, so
-        the thread pool needs no synchronisation.
+        Blocks write disjoint row ranges of a preallocated output, so
+        the thread pool needs no synchronisation.  Worker chunking
+        passes even ``chunk_bounds`` and a pool; the tiled path passes
+        fixed-size ``tile_bounds`` and ``workers=1`` so only one
+        tile's einsum scratch is live at a time.
         """
         n = a.shape[0]
         out = np.empty((n, n, self.c_hidden), dtype=a.dtype)
 
-        def one_chunk(lo_hi):
+        def one_block(lo_hi):
             lo, hi = lo_hi
             if self.outgoing:
                 out[lo:hi] = np.einsum("ikc,jkc->ijc", a[lo:hi], b)
             else:
                 out[lo:hi] = np.einsum("kic,kjc->ijc", a[:, lo:hi], b)
 
-        bounds = plan.chunk_bounds(n)
-        if plan.workers > 1 and len(bounds) > 1:
-            with ThreadPoolExecutor(max_workers=plan.workers) as pool:
-                list(pool.map(one_chunk, bounds))
+        if workers > 1 and len(bounds) > 1:
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                list(pool.map(one_block, bounds))
         else:
             for b_ in bounds:
-                one_chunk(b_)
+                one_block(b_)
         return out
 
 

@@ -22,15 +22,23 @@ from .executor import (
     available_workers,
     run_sharded,
 )
-from .plan import BACKENDS, ExecutionPlan, KERNEL_MODES
+from .plan import (
+    ATTENTION_MODES,
+    BACKENDS,
+    ExecutionPlan,
+    KERNEL_MODES,
+    RECOMPUTE_SCOPES,
+)
 from .shard import merge_sharded, records_remaining, shard_bounds
 from .timeline import record_outcome, scan_timeline
 
 __all__ = [
+    "ATTENTION_MODES",
     "BACKENDS",
     "ExecutionOutcome",
     "ExecutionPlan",
     "KERNEL_MODES",
+    "RECOMPUTE_SCOPES",
     "TaskTiming",
     "available_workers",
     "merge_sharded",

@@ -39,6 +39,22 @@ BACKENDS = ("auto", "serial", "thread", "process")
 #: Valid values of :attr:`ExecutionPlan.kernel` (the KernelMode knob).
 KERNEL_MODES = ("scalar", "batched")
 
+#: Valid values of :attr:`ExecutionPlan.attention`: ``"resident"``
+#: materialises the full (..., H, Lq, Lk) logits tensor; ``"tiled"``
+#: streams fixed-size tiles of the leading batch axis through a bounded
+#: workspace (flash-style scheduling; see docs/memory_planner.md).
+ATTENTION_MODES = ("resident", "tiled")
+
+#: Scopes :attr:`ExecutionPlan.recompute_scopes` may name.  Listing a
+#: scope trades FLOPs for bytes: the layer drops a retained activation
+#: and recomputes it (bit-identically — the recomputed op is a
+#: deterministic elementwise function of an input that is still live).
+RECOMPUTE_SCOPES = ("triangle_mult",)
+
+#: Tile rows used by ``attention="tiled"`` when no explicit
+#: ``attention_block`` was planned.
+DEFAULT_ATTENTION_BLOCK = 16
+
 
 @dataclasses.dataclass(frozen=True)
 class ExecutionPlan:
@@ -48,6 +64,9 @@ class ExecutionPlan:
     chunk: Optional[int] = None
     backend: str = "auto"
     kernel: str = "batched"
+    attention: str = "resident"
+    attention_block: Optional[int] = None
+    recompute_scopes: Tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -62,6 +81,19 @@ class ExecutionPlan:
             raise ValueError(
                 f"kernel must be one of {KERNEL_MODES}, got {self.kernel!r}"
             )
+        if self.attention not in ATTENTION_MODES:
+            raise ValueError(
+                f"attention must be one of {ATTENTION_MODES}, "
+                f"got {self.attention!r}"
+            )
+        if self.attention_block is not None and self.attention_block < 1:
+            raise ValueError("attention_block must be >= 1 (or None)")
+        for scope in self.recompute_scopes:
+            if scope not in RECOMPUTE_SCOPES:
+                raise ValueError(
+                    f"recompute scope must be one of {RECOMPUTE_SCOPES}, "
+                    f"got {scope!r}"
+                )
 
     @classmethod
     def serial(cls) -> "ExecutionPlan":
@@ -98,4 +130,30 @@ class ExecutionPlan:
         if n <= 0:
             return []
         size = self.chunk_size(n)
+        return [(start, min(start + size, n)) for start in range(0, n, size)]
+
+    @property
+    def is_tiled(self) -> bool:
+        """Whether the attention/triangle cores stream fixed-size tiles
+        through a bounded workspace instead of materialising resident
+        O(L²·heads) intermediates."""
+        return self.attention == "tiled"
+
+    def tile_rows(self, n: int) -> int:
+        """Rows per tile when streaming a length-``n`` leading axis
+        through the tiled attention/triangle workspace."""
+        block = self.attention_block or DEFAULT_ATTENTION_BLOCK
+        return min(block, max(1, n))
+
+    def tile_bounds(self, n: int) -> List[Tuple[int, int]]:
+        """Fixed-size ``[start, end)`` tiles covering ``range(n)``.
+
+        Unlike :meth:`chunk_bounds` (which splits *evenly across
+        workers* so one worker gets one chunk), tile bounds are a
+        memory-planner knob: the tile size caps the live workspace and
+        is independent of the worker count.
+        """
+        if n <= 0:
+            return []
+        size = self.tile_rows(n)
         return [(start, min(start + size, n)) for start in range(0, n, size)]

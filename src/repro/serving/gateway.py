@@ -199,6 +199,12 @@ class GatewayConfig:
     degraded_fallback: bool = False   # serve reduced depth, don't error
     degraded_msa_depth: int = 16
     msa_scan_shards: int = SCAN_SHARDS    # checkpoint granularity
+    # -- attention schedule for every GPU worker ("chunked" default,
+    #    "resident", or a memory-planner "tiled" block); changes the
+    #    per-batch memory demand and therefore the OOM/split admission
+    #    path (docs/memory_planner.md) ------------------------------
+    attention: str = "chunked"
+    attention_block: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.num_gpu_workers < 1 or self.num_msa_workers < 1:
@@ -219,6 +225,13 @@ class GatewayConfig:
             raise ValueError("degraded_msa_depth must be >= 1")
         if self.msa_scan_shards < 1:
             raise ValueError("msa_scan_shards must be >= 1")
+        if self.attention not in ("chunked", "resident", "tiled"):
+            raise ValueError(
+                "attention must be 'chunked', 'resident' or 'tiled', "
+                f"got {self.attention!r}"
+            )
+        if self.attention_block is not None and self.attention_block < 1:
+            raise ValueError("attention_block must be >= 1 (or None)")
 
 
 # Event kinds, in deterministic tie-break order at equal timestamps:
@@ -262,7 +275,11 @@ class ServingGateway:
         self._model_config = model_config
         self.fault_plan = fault_plan
         self.workers: List[InferenceServer] = [
-            InferenceServer(platform, model_config, self.config.buckets)
+            InferenceServer(
+                platform, model_config, self.config.buckets,
+                attention=self.config.attention,
+                attention_block=self.config.attention_block,
+            )
             for _ in range(self.config.num_gpu_workers)
         ]
 

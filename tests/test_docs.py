@@ -29,6 +29,7 @@ EXECUTABLE_DOCS = [
     DOCS / "kernels.md",
     DOCS / "cluster.md",
     DOCS / "campaign.md",
+    DOCS / "memory_planner.md",
 ]
 
 _FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)
@@ -95,6 +96,7 @@ class TestIntraRepoLinks:
         assert "docs/feature_store.md" in readme
         assert "docs/cluster.md" in readme
         assert "docs/campaign.md" in readme
+        assert "docs/memory_planner.md" in readme
         assert "docs/README.md" in readme
 
     def test_docs_index_covers_every_guide(self):
