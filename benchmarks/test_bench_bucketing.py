@@ -1,0 +1,81 @@
+"""Bucketing benchmarks: optimizer cost + the pinned waste reduction.
+
+The acceptance harness for adaptive length bucketing:
+
+* records the wall cost of fitting buckets to the realistic traffic
+  mix and of the full three-scheme waste comparison into
+  ``benchmarks/out/BENCH_bucketing.json`` for the canary-normalised
+  regression gate;
+* asserts the optimizer's win outright: the fitted list must cut
+  padded-token waste by >= 25% against BOTH the blind power-of-two
+  baseline and the fixed AF3 default list on the same distribution
+  (measured in tokens, so the bar is machine-independent).
+
+Set REPRO_BENCH_QUICK=1 to shrink the traffic sample (used by CI).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.buckets import (
+    compare_bucketings,
+    fit_buckets,
+    power_of_two_buckets,
+    realistic_mix,
+    waste_report,
+)
+from repro.core.server import DEFAULT_BUCKETS
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+REPEATS = 1 if QUICK else 3
+N_REQUESTS = 800 if QUICK else 2000
+
+
+def _lengths(seed=0):
+    return realistic_mix(seed=seed, n=N_REQUESTS)
+
+
+def _fit(lengths):
+    return fit_buckets(lengths, max_buckets=len(DEFAULT_BUCKETS))
+
+
+def test_record_bucketing_timings(bench_recorder):
+    """Wall cost of the DP fit and of the full comparison report."""
+    lengths = _lengths()
+    results = {}
+
+    def run_fit():
+        results["fitted"] = _fit(lengths)
+
+    def run_comparison():
+        results["comparison"] = compare_bucketings(lengths, [
+            ("pow2", power_of_two_buckets(max(lengths))),
+            ("af3-default", DEFAULT_BUCKETS),
+            ("adaptive", results["fitted"]),
+        ])
+
+    bench_recorder.record("bucketing", "fit_realistic", run_fit,
+                          repeats=REPEATS)
+    bench_recorder.record("bucketing", "compare_three_schemes",
+                          run_comparison, repeats=REPEATS)
+    assert len(results["fitted"]) <= len(DEFAULT_BUCKETS)
+    assert results["comparison"].requests == N_REQUESTS
+
+
+def test_adaptive_cuts_waste_25pct_vs_both_baselines():
+    """The headline number, in tokens: >= 25% less padding than the
+    power-of-two baseline AND the fixed AF3 list."""
+    lengths = _lengths()
+    adaptive = waste_report(lengths, _fit(lengths))
+    pow2 = waste_report(lengths, power_of_two_buckets(max(lengths)))
+    fixed = waste_report(lengths, DEFAULT_BUCKETS)
+    for name, baseline in (("pow2", pow2), ("af3-default", fixed)):
+        assert baseline.waste_tokens > 0
+        reduction = 100.0 * (
+            baseline.waste_tokens - adaptive.waste_tokens
+        ) / baseline.waste_tokens
+        assert reduction >= 25.0, (
+            f"adaptive waste {adaptive.waste_tokens} is only "
+            f"{reduction:.1f}% below {name}'s {baseline.waste_tokens}"
+        )

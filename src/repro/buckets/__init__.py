@@ -1,0 +1,51 @@
+"""Adaptive length bucketing and shared XLA compile-cache modeling.
+
+AF3's JAX pipeline pads every input up to a shape bucket so the XLA
+executable cache stays small (SNIPPETS.md Snippet 1: the ``--buckets
+256,...,5120`` flag), and deployments share compiled executables across
+processes via ``--jax_compilation_cache_dir``.  Both knobs trade the
+same two currencies the paper measures — padded-token waste and
+cold-start compile time.  This package makes both tunable and
+measurable:
+
+- :mod:`repro.buckets.optimizer` fits bucket boundaries to an observed
+  token-length distribution (exact dynamic program over the empirical
+  CDF) and quantifies padded-token waste for any bucket list.
+- :mod:`repro.buckets.compile_cache` models a process- or fleet-shared
+  XLA compile cache: the first request per bucket x platform pays the
+  full compile, later workers/nodes pay a small cache-hit cost.
+- :mod:`repro.buckets.traffic` provides seeded realistic length mixes
+  (including the paper's target cohort) to fit and evaluate against.
+- :mod:`repro.buckets.report` renders before/after comparisons across
+  bucketing schemes.
+
+See docs/bucketing.md for the operator workflow (fit -> compare ->
+persist).
+"""
+
+from .compile_cache import DEFAULT_HIT_COST_SECONDS, SharedCompileCache
+from .optimizer import (
+    BucketWaste,
+    fit_buckets,
+    parse_bucket_spec,
+    power_of_two_buckets,
+    waste_report,
+)
+from .report import BucketComparison, compare_bucketings, render_comparison
+from .traffic import paper_cohort_lengths, realistic_mix, trace_lengths
+
+__all__ = [
+    "BucketComparison",
+    "BucketWaste",
+    "DEFAULT_HIT_COST_SECONDS",
+    "SharedCompileCache",
+    "compare_bucketings",
+    "fit_buckets",
+    "paper_cohort_lengths",
+    "parse_bucket_spec",
+    "power_of_two_buckets",
+    "realistic_mix",
+    "render_comparison",
+    "trace_lengths",
+    "waste_report",
+]

@@ -1,0 +1,71 @@
+"""Shared XLA compile-cache model.
+
+AF3 deployments point every worker at one
+``--jax_compilation_cache_dir``: the first process to compile an
+executable for a given padded shape publishes it, and every other
+worker (or freshly booted cluster node) deserializes it at a small,
+roughly shape-independent cost instead of re-running XLA.  This module
+models exactly that: a cache keyed by ``(platform, bucket)`` that the
+first lookup misses (paying the full compile and publishing) and later
+lookups hit at :data:`DEFAULT_HIT_COST_SECONDS`.
+
+The default hit cost matches the executable-cache-hit compile time the
+persistent-state model in :mod:`repro.hardware.gpu` already charges a
+warm process (0.2 s), keeping the two cache models consistent.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Tuple
+
+#: Deserialize-from-cache cost per executable, seconds.  Matches the
+#: warm-process compile residual in ``InferenceSimulator``.
+DEFAULT_HIT_COST_SECONDS = 0.2
+
+
+class SharedCompileCache:
+    """A process- or fleet-shared executable cache.
+
+    Deterministic and single-threaded like the discrete-event
+    simulations that use it: lookup order fully determines the
+    hit/miss sequence, so golden summaries stay byte-stable.
+    """
+
+    def __init__(self, hit_cost_seconds: float = DEFAULT_HIT_COST_SECONDS) -> None:
+        if hit_cost_seconds < 0:
+            raise ValueError("hit_cost_seconds must be >= 0")
+        self.hit_cost_seconds = hit_cost_seconds
+        self._entries: Dict[Tuple[str, int], float] = {}
+        self.hits = 0
+        self.misses = 0
+        self.seconds_saved = 0.0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, platform: str, bucket: int, compile_seconds: float) -> float:
+        """Return the compile cost this worker actually pays.
+
+        A miss records the executable and returns ``compile_seconds``
+        unchanged; a hit returns the (cheaper) deserialization cost
+        and accounts the difference as saved.
+        """
+        key = (platform, bucket)
+        if key in self._entries:
+            self.hits += 1
+            cost = min(self.hit_cost_seconds, compile_seconds)
+            self.seconds_saved += compile_seconds - cost
+            return cost
+        self.misses += 1
+        self._entries[key] = compile_seconds
+        return compile_seconds
+
+    def summary(self) -> "OrderedDict[str, object]":
+        doc: "OrderedDict[str, object]" = OrderedDict()
+        doc["entries"] = len(self._entries)
+        doc["hits"] = self.hits
+        doc["misses"] = self.misses
+        doc["hit_cost_seconds"] = self.hit_cost_seconds
+        doc["seconds_saved"] = round(self.seconds_saved, 6)
+        return doc

@@ -1,0 +1,202 @@
+"""Fit bucket boundaries to a token-length distribution.
+
+Padding every request up to a shape bucket wastes ``bucket - tokens``
+padded tokens per request; the GPU computes on all of them.  Given an
+observed length distribution, the optimal K-bucket list is an exact
+dynamic program: bucket edges only ever need to sit *at* observed
+lengths (lowering an edge to the largest length it covers can only
+shrink waste), so the problem reduces to partitioning the sorted unique
+lengths into at most K contiguous groups, each billed at its maximum.
+
+The DP is O(K * n^2) in the number of *unique* lengths — thousands of
+distinct lengths fit comfortably — and fully deterministic: ties break
+toward the fewest buckets, then lexicographically smallest edge list.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import Counter, OrderedDict
+from typing import Dict, List, Sequence, Tuple
+
+
+def power_of_two_buckets(max_length: int, floor: int = 256) -> Tuple[int, ...]:
+    """The blind baseline: doubling edges from ``floor`` up past ``max_length``.
+
+    This is the geometric analogue of the kernel batcher's
+    ``pad_length`` (``1 << bit_length``) applied to serving shapes.
+    """
+    if max_length < 1:
+        raise ValueError("max_length must be positive")
+    if floor < 1:
+        raise ValueError("floor must be positive")
+    edges = [floor]
+    while edges[-1] < max_length:
+        edges.append(edges[-1] * 2)
+    return tuple(edges)
+
+
+def parse_bucket_spec(spec: str) -> Tuple[int, ...]:
+    """Parse a ``256,512,...`` CSV bucket list (the AF3 flag syntax)."""
+    try:
+        edges = tuple(int(part) for part in spec.split(",") if part.strip())
+    except ValueError as exc:
+        raise ValueError(f"invalid bucket list {spec!r}: {exc}") from None
+    if not edges:
+        raise ValueError("bucket list is empty")
+    if any(e < 1 for e in edges):
+        raise ValueError(f"bucket edges must be positive, got {edges}")
+    if len(set(edges)) != len(edges):
+        raise ValueError(f"bucket edges must be unique, got {edges}")
+    return tuple(sorted(edges))
+
+
+def fit_buckets(
+    lengths: Sequence[int],
+    max_buckets: int = 13,
+    min_width: int = 1,
+) -> Tuple[int, ...]:
+    """Fit at most ``max_buckets`` edges minimizing total padded waste.
+
+    ``min_width`` forces consecutive edges at least that far apart
+    (many tiny buckets each cost an XLA compile; widening trades a
+    little padding for fewer executables).  The largest observed
+    length is always covered.  Deterministic: same input, same output.
+    """
+    if not lengths:
+        raise ValueError("cannot fit buckets to an empty length sample")
+    if max_buckets < 1:
+        raise ValueError("max_buckets must be >= 1")
+    if min_width < 1:
+        raise ValueError("min_width must be >= 1")
+    if any(n < 1 for n in lengths):
+        raise ValueError("token lengths must be positive")
+
+    counts = Counter(lengths)
+    uniq = sorted(counts)
+    n = len(uniq)
+    weights = [counts[u] for u in uniq]
+
+    # prefix sums for O(1) group waste: waste(i..j) = sum_{t=i..j}
+    # w_t * (u_j - u_t) = u_j * W(i..j) - S(i..j)
+    pref_w = [0] * (n + 1)
+    pref_s = [0] * (n + 1)
+    for i, (u, w) in enumerate(zip(uniq, weights)):
+        pref_w[i + 1] = pref_w[i] + w
+        pref_s[i + 1] = pref_s[i] + w * u
+
+    def group_waste(i: int, j: int) -> int:
+        """Waste of lengths uniq[i..j] all padded to uniq[j]."""
+        return uniq[j] * (pref_w[j + 1] - pref_w[i]) - (pref_s[j + 1] - pref_s[i])
+
+    K = min(max_buckets, n)
+    INF = float("inf")
+    # best[k][j]: minimal waste covering uniq[0..j] with exactly k
+    # edges, the last at uniq[j].  parent[k][j]: previous edge index.
+    best = [[INF] * n for _ in range(K + 1)]
+    parent = [[-1] * n for _ in range(K + 1)]
+    for j in range(n):
+        best[1][j] = group_waste(0, j)
+    for k in range(2, K + 1):
+        for j in range(k - 1, n):
+            for p in range(k - 2, j):
+                if uniq[j] - uniq[p] < min_width:
+                    continue
+                cand = best[k - 1][p] + group_waste(p + 1, j)
+                if cand < best[k][j]:
+                    best[k][j] = cand
+                    parent[k][j] = p
+    # The last edge must cover max(lengths) => j = n - 1.  Prefer the
+    # fewest edges among equal-waste solutions (fewer compiles).
+    chosen_k = -1
+    chosen = INF
+    for k in range(1, K + 1):
+        if best[k][n - 1] < chosen:
+            chosen = best[k][n - 1]
+            chosen_k = k
+    if chosen_k < 0:
+        # min_width made multi-edge splits infeasible; one edge always is.
+        chosen_k = 1
+    edges: List[int] = []
+    j = n - 1
+    k = chosen_k
+    while j >= 0 and k >= 1:
+        edges.append(uniq[j])
+        j = parent[k][j]
+        k -= 1
+    return tuple(sorted(edges))
+
+
+@dataclasses.dataclass(frozen=True)
+class BucketWaste:
+    """Padded-token accounting of a bucket list over a length sample."""
+
+    buckets: Tuple[int, ...]
+    requests: int
+    real_tokens: int
+    padded_tokens: int
+    per_bucket: Tuple[Tuple[int, Dict[str, int]], ...]
+
+    @property
+    def waste_tokens(self) -> int:
+        return self.padded_tokens - self.real_tokens
+
+    @property
+    def waste_pct(self) -> float:
+        if self.padded_tokens == 0:
+            return 0.0
+        return 100.0 * self.waste_tokens / self.padded_tokens
+
+    def summary(self) -> "OrderedDict[str, object]":
+        doc: "OrderedDict[str, object]" = OrderedDict()
+        doc["buckets"] = list(self.buckets)
+        doc["requests"] = self.requests
+        doc["real_tokens"] = self.real_tokens
+        doc["padded_tokens"] = self.padded_tokens
+        doc["waste_tokens"] = self.waste_tokens
+        doc["waste_pct"] = round(self.waste_pct, 4)
+        doc["per_bucket"] = OrderedDict(
+            (str(edge), stats) for edge, stats in self.per_bucket
+        )
+        return doc
+
+
+def waste_report(lengths: Sequence[int], buckets: Sequence[int]) -> BucketWaste:
+    """Measure padded-token waste of ``buckets`` over ``lengths``.
+
+    Raises :class:`ValueError` when a length exceeds the largest
+    bucket, mirroring :func:`repro.core.server.bucket_for`.
+    """
+    edges = tuple(sorted(buckets))
+    if not edges:
+        raise ValueError("bucket list is empty")
+    real = 0
+    padded = 0
+    per_bucket: "OrderedDict[int, Dict[str, int]]" = OrderedDict(
+        (e, {"requests": 0, "real_tokens": 0, "padded_tokens": 0})
+        for e in edges
+    )
+    for n in lengths:
+        for edge in edges:
+            if n <= edge:
+                break
+        else:
+            raise ValueError(
+                f"{n} tokens exceeds the largest bucket {edges[-1]}"
+            )
+        real += n
+        padded += edge
+        slot = per_bucket[edge]
+        slot["requests"] += 1
+        slot["real_tokens"] += n
+        slot["padded_tokens"] += edge
+    return BucketWaste(
+        buckets=edges,
+        requests=len(lengths),
+        real_tokens=real,
+        padded_tokens=padded,
+        per_bucket=tuple(
+            (e, stats) for e, stats in per_bucket.items()
+            if stats["requests"]
+        ),
+    )

@@ -1,0 +1,88 @@
+"""Before/after comparison of bucketing schemes on one length sample."""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import OrderedDict
+from typing import Sequence, Tuple
+
+from .optimizer import BucketWaste, waste_report
+
+
+@dataclasses.dataclass(frozen=True)
+class BucketComparison:
+    """Waste of several bucket lists over the same traffic.
+
+    The first scheme is the baseline; every other scheme reports its
+    waste reduction relative to it.
+    """
+
+    requests: int
+    schemes: Tuple[Tuple[str, BucketWaste], ...]
+
+    def reduction_pct(self, name: str) -> float:
+        """Waste-token reduction of ``name`` vs the baseline scheme."""
+        baseline = self.schemes[0][1]
+        target = dict(self.schemes)[name]
+        if baseline.waste_tokens == 0:
+            return 0.0
+        return 100.0 * (
+            baseline.waste_tokens - target.waste_tokens
+        ) / baseline.waste_tokens
+
+    def summary(self) -> "OrderedDict[str, object]":
+        doc: "OrderedDict[str, object]" = OrderedDict()
+        doc["requests"] = self.requests
+        baseline_name = self.schemes[0][0]
+        doc["baseline"] = baseline_name
+        schemes: "OrderedDict[str, object]" = OrderedDict()
+        for name, waste in self.schemes:
+            entry = waste.summary()
+            if name != baseline_name:
+                entry["waste_reduction_vs_baseline_pct"] = round(
+                    self.reduction_pct(name), 4
+                )
+            schemes[name] = entry
+        doc["schemes"] = schemes
+        return doc
+
+
+def compare_bucketings(
+    lengths: Sequence[int],
+    schemes: Sequence[Tuple[str, Sequence[int]]],
+) -> BucketComparison:
+    """Measure every named bucket list over ``lengths``.
+
+    ``schemes`` is ordered; the first entry is the baseline the others
+    are compared against.
+    """
+    if not schemes:
+        raise ValueError("need at least one bucketing scheme")
+    names = [name for name, _ in schemes]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate scheme names: {names}")
+    measured = tuple(
+        (name, waste_report(lengths, buckets)) for name, buckets in schemes
+    )
+    return BucketComparison(requests=len(lengths), schemes=measured)
+
+
+def render_comparison(comparison: BucketComparison) -> str:
+    """Operator-facing table of the comparison."""
+    lines = [
+        f"Bucketing comparison over {comparison.requests} requests "
+        f"(baseline: {comparison.schemes[0][0]})",
+        f"{'scheme':<14} {'buckets':>7} {'padded':>12} {'waste':>12} "
+        f"{'waste%':>8} {'vs base':>9}",
+    ]
+    baseline_name = comparison.schemes[0][0]
+    for name, waste in comparison.schemes:
+        vs = (
+            "-" if name == baseline_name
+            else f"-{comparison.reduction_pct(name):.1f}%"
+        )
+        lines.append(
+            f"{name:<14} {len(waste.buckets):>7} {waste.padded_tokens:>12} "
+            f"{waste.waste_tokens:>12} {waste.waste_pct:>7.2f}% {vs:>9}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,74 @@
+"""Seeded token-length traffic mixes to fit and evaluate buckets on.
+
+Uses the stdlib :mod:`random` generator (not numpy) for the same
+reason :mod:`repro.serving.queueing` does: its sequence is stable
+across Python and numpy versions, so fitted bucket lists and golden
+waste reports never drift with the environment.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+#: Largest shape the AF3 flag default covers; realistic mixes clamp here.
+MAX_COHORT_TOKENS = 5120
+
+
+def paper_cohort_lengths() -> List[int]:
+    """Token counts of the paper's target cohort, one entry per target.
+
+    The five structures of Table II/Fig. 3 (measured token counts of
+    the builtin samples) plus the 6QNR-like long target the memory
+    planner unlocks.
+    """
+    from ..sequences.builtin import builtin_samples
+
+    return [s.assembly.num_tokens for s in builtin_samples().values()]
+
+
+def realistic_mix(seed: int = 0, n: int = 2000) -> List[int]:
+    """A seeded production-shaped length mix.
+
+    Three log-ish modes mirroring what an AF3 service actually sees:
+    ~55% single chains (180-600 tokens), ~35% dimer/trimer complexes
+    (500-1600), ~10% large assemblies with a heavy tail out to the
+    5120-token flag maximum.  Deterministic for a given ``(seed, n)``.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    rng = random.Random(seed)
+    lengths: List[int] = []
+    for _ in range(n):
+        r = rng.random()
+        if r < 0.55:
+            tokens = int(rng.triangular(180, 600, 330))
+        elif r < 0.90:
+            tokens = int(rng.triangular(500, 1600, 820))
+        else:
+            # Heavy tail: exponential beyond 1600, clamped at the max.
+            tokens = 1600 + int(rng.expovariate(1.0 / 700.0))
+        lengths.append(max(16, min(tokens, MAX_COHORT_TOKENS)))
+    return lengths
+
+
+def trace_lengths(rows: Sequence[dict]) -> List[int]:
+    """Extract token lengths from trace/manifest rows.
+
+    Accepts the keys the serving trace and campaign manifest formats
+    use: ``num_tokens``, ``tokens``, or ``length``.
+    """
+    lengths: List[int] = []
+    for i, row in enumerate(rows):
+        for key in ("num_tokens", "tokens", "length"):
+            if key in row:
+                lengths.append(int(row[key]))
+                break
+        else:
+            raise ValueError(
+                f"trace row {i} has no num_tokens/tokens/length field: "
+                f"{sorted(row)}"
+            )
+    if not lengths:
+        raise ValueError("trace contains no rows")
+    return lengths

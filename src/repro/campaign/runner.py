@@ -87,10 +87,28 @@ class CampaignConfig:
     #: docs/memory_planner.md).  Persisted because it changes which
     #: targets are admitted, i.e. the cohort's *results*.
     attention: str = "chunked"
+    #: Optional shape-bucket edges for the inference stage (``repro
+    #: buckets fit`` output; docs/bucketing.md).  When set, every
+    #: target executes at its padded bucket size — exactly what the
+    #: bucketed XLA deployment does — so it changes per-target
+    #: results and is persisted; ``None`` keeps the legacy exact-size
+    #: execution (and the legacy campaign.json schema).
+    buckets: Optional[Tuple[int, ...]] = None
 
     def __post_init__(self) -> None:
         if self.threads < 1:
             raise ValueError("threads must be >= 1")
+        if self.buckets is not None:
+            edges = tuple(int(e) for e in self.buckets)
+            if not edges or any(e < 1 for e in edges):
+                raise ValueError(
+                    f"buckets must be positive edges, got {edges}"
+                )
+            if sorted(set(edges)) != list(edges):
+                raise ValueError(
+                    f"buckets must be sorted and unique, got {edges}"
+                )
+            object.__setattr__(self, "buckets", edges)
         if self.attention not in ("chunked", "resident", "tiled"):
             raise ValueError(
                 "attention must be 'chunked', 'resident' or 'tiled', "
@@ -119,6 +137,10 @@ class CampaignConfig:
             store_dir=self.store_dir,
             store_budget_mb=self.store_budget_mb,
             attention=self.attention,
+            **(
+                {"buckets": list(self.buckets)}
+                if self.buckets is not None else {}
+            ),
         )
 
     @classmethod
@@ -134,6 +156,11 @@ class CampaignConfig:
             # Campaigns persisted before the planner existed carry no
             # attention field; they resume under the legacy schedule.
             attention=str(doc.get("attention", "chunked")),
+            # Likewise pre-bucketing campaigns: absent means exact-size.
+            buckets=(
+                tuple(int(e) for e in doc["buckets"])
+                if doc.get("buckets") else None
+            ),
         )
 
 
@@ -303,6 +330,8 @@ def run_campaign(
         max_tokens=config.max_tokens,
         attention=config.attention,
     )
+    if config.buckets is not None:
+        base_context["buckets"] = list(config.buckets)
 
     executed_by_stage: "OrderedDict[str, int]" = OrderedDict()
     stages_failed = 0

@@ -153,6 +153,20 @@ def _inference(
     platform = get_platform(context["platform"])
     attention = str(context.get("attention") or "chunked")
     tokens = int(preprocess["tokens"])
+    bucket = None
+    if context.get("buckets"):
+        # Bucketed deployments execute at the padded shape: the GPU
+        # computes (and admission is judged) on bucket-sized tensors.
+        from ..core.server import bucket_for
+
+        try:
+            bucket = bucket_for(tokens, tuple(context["buckets"]))
+        except ValueError as exc:
+            raise StageError(
+                f"target {target.target_id!r} does not fit the "
+                f"campaign's buckets: {exc}"
+            ) from exc
+        tokens = bucket
     attention_block = None
     if attention == "tiled":
         from ..model.memory_planner import MemoryBudgetError, plan_for_device
@@ -204,6 +218,10 @@ def _inference(
         body["attention"] = attention
         if attention_block is not None:
             body["attention_block"] = attention_block
+    if bucket is not None:
+        # Same schema discipline: only bucketed campaigns record the
+        # padded shape they actually executed at.
+        body["bucket"] = bucket
     return body
 
 

@@ -236,6 +236,23 @@ def _open_store(args: argparse.Namespace):
     )
 
 
+def _resolve_buckets(spec: str, lengths):
+    """Turn a ``--buckets`` value into an edge tuple.
+
+    ``fixed`` keeps the AF3 flag default, ``adaptive`` fits edges to
+    the stream about to be served (the online analogue of ``repro
+    buckets fit``), anything else parses as CSV edges.
+    """
+    from .buckets import fit_buckets, parse_bucket_spec
+    from .core.server import DEFAULT_BUCKETS
+
+    if spec == "fixed":
+        return DEFAULT_BUCKETS
+    if spec == "adaptive":
+        return fit_buckets(list(lengths), max_buckets=len(DEFAULT_BUCKETS))
+    return parse_bucket_spec(spec)
+
+
 def cmd_serve_sim(args: argparse.Namespace) -> int:
     from .serving import (
         GatewayConfig,
@@ -247,16 +264,6 @@ def cmd_serve_sim(args: argparse.Namespace) -> int:
     )
 
     platform = get_platform(args.platform)
-    config = GatewayConfig(
-        num_gpu_workers=args.gpu_workers,
-        num_msa_workers=args.msa_workers,
-        max_batch=args.max_batch,
-        max_wait_seconds=args.max_wait,
-        queue_limit=args.queue_limit,
-        timeout_seconds=args.timeout,
-        max_retries=args.retries,
-        retry_backoff_seconds=args.backoff,
-    )
     if args.scenario == "ppi-screen":
         stream = ppi_screen_stream(
             args.requests, num_chains=args.chains,
@@ -269,6 +276,21 @@ def cmd_serve_sim(args: argparse.Namespace) -> int:
             arrivals=PoissonArrivals(args.rate, seed=args.seed),
             seed=args.seed,
         )
+    config = GatewayConfig(
+        num_gpu_workers=args.gpu_workers,
+        num_msa_workers=args.msa_workers,
+        max_batch=args.max_batch,
+        max_wait_seconds=args.max_wait,
+        queue_limit=args.queue_limit,
+        timeout_seconds=args.timeout,
+        max_retries=args.retries,
+        retry_backoff_seconds=args.backoff,
+        buckets=_resolve_buckets(
+            getattr(args, "buckets", "fixed"),
+            [r.num_tokens for r in stream],
+        ),
+        compile_cache=getattr(args, "compile_cache", "none"),
+    )
     store = _open_store(args)
     if store is not None and args.precompute:
         from .store import precompute_msas
@@ -357,6 +379,11 @@ def _campaign_targets(args: argparse.Namespace):
 def _campaign_config(args: argparse.Namespace):
     from .campaign import CampaignConfig
 
+    buckets = None
+    if getattr(args, "buckets", None):
+        from .buckets import parse_bucket_spec
+
+        buckets = parse_bucket_spec(args.buckets)
     return CampaignConfig(
         platform=args.platform,
         threads=args.threads,
@@ -365,6 +392,7 @@ def _campaign_config(args: argparse.Namespace):
         store_dir=args.store_dir,
         store_budget_mb=args.store_budget_mb,
         attention=getattr(args, "attention", "chunked"),
+        buckets=buckets,
     )
 
 
@@ -557,6 +585,7 @@ def _cluster_chaos_config(args: argparse.Namespace, policy: str, seed: int):
             tuple(k.strip() for k in args.kinds.split(",") if k.strip())
             if getattr(args, "kinds", None) else None
         ),
+        compile_cache=getattr(args, "compile_cache", "none"),
     )
 
 
@@ -621,6 +650,87 @@ def cmd_cluster_chaos(args: argparse.Namespace) -> int:
         file=sys.stderr,
     )
     return 4
+
+
+def _bucket_fit_lengths(args: argparse.Namespace):
+    """Token lengths for ``repro buckets fit``: a seeded mix, the
+    paper cohort, or a file (campaign manifest, JSON length array, or
+    JSON trace rows with ``num_tokens``/``tokens``/``length``)."""
+    import pathlib
+
+    from .buckets import paper_cohort_lengths, realistic_mix, trace_lengths
+
+    source = args.source
+    if source == "realistic":
+        return realistic_mix(seed=args.seed, n=args.requests)
+    if source == "cohort":
+        return paper_cohort_lengths()
+    path = pathlib.Path(source)
+    if not path.exists():
+        raise SystemExit(
+            f"buckets fit: source {source!r} is neither 'realistic', "
+            f"'cohort', nor an existing file"
+        )
+    doc = None
+    if path.suffix.lower() == ".json":
+        try:
+            doc = json.loads(path.read_text())
+        except ValueError:
+            doc = None
+    if isinstance(doc, list) and doc and all(
+        isinstance(x, int) for x in doc
+    ):
+        return [int(x) for x in doc]
+    if isinstance(doc, list) and doc and all(
+        isinstance(x, dict) for x in doc
+    ):
+        return trace_lengths(doc)
+    from .campaign.manifest import load_manifest
+
+    targets = load_manifest(path)
+    return [t.to_assembly().num_tokens for t in targets]
+
+
+def cmd_buckets_fit(args: argparse.Namespace) -> int:
+    from collections import OrderedDict
+
+    from .buckets import (
+        compare_bucketings,
+        fit_buckets,
+        power_of_two_buckets,
+        render_comparison,
+    )
+    from .core.server import DEFAULT_BUCKETS
+
+    try:
+        lengths = _bucket_fit_lengths(args)
+    except SystemExit as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    fitted = fit_buckets(
+        lengths, max_buckets=args.max_buckets, min_width=args.min_width
+    )
+    schemes = [("pow2", power_of_two_buckets(max(lengths)))]
+    if max(lengths) <= DEFAULT_BUCKETS[-1]:
+        schemes.append(("fixed", DEFAULT_BUCKETS))
+    schemes.append(("adaptive", fitted))
+    comparison = compare_bucketings(lengths, schemes)
+    bucket_csv = ",".join(str(e) for e in fitted)
+    if args.format == "json":
+        print(json.dumps(OrderedDict(
+            source=args.source,
+            requests=len(lengths),
+            max_buckets=args.max_buckets,
+            min_width=args.min_width,
+            fitted=list(fitted),
+            comparison=comparison.summary(),
+        ), indent=2))
+    else:
+        print(render_comparison(comparison))
+        print()
+        print(f"fitted buckets ({len(fitted)} edges): {bucket_csv}")
+        print(f"  persist with: repro serve-sim --buckets {bucket_csv}")
+    return 0
 
 
 def _observed_run(args: argparse.Namespace):
@@ -940,6 +1050,15 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--precompute", action="store_true",
                        help="bulk-fill the store from the stream's chains "
                             "before serving (requires --store-dir)")
+    serve.add_argument("--buckets", default="fixed", metavar="SPEC",
+                       help="shape buckets: 'fixed' (AF3 flag default), "
+                            "'adaptive' (fit to this stream), or CSV "
+                            "edges like 256,512,1024 (docs/bucketing.md)")
+    serve.add_argument("--compile-cache", choices=["none", "shared"],
+                       default="none",
+                       help="XLA executable cache across GPU workers: "
+                            "'shared' models one "
+                            "jax_compilation_cache_dir all workers mount")
     serve.set_defaults(func=cmd_serve_sim)
 
     precompute = sub.add_parser(
@@ -1063,6 +1182,12 @@ def build_parser() -> argparse.ArgumentParser:
                                       "the whole cohort (tiled = memory-"
                                       "planner admission; persisted with "
                                       "the campaign)")
+    campaign_cohort.add_argument("--buckets", default=None, metavar="CSV",
+                                 help="shape-bucket edges for the "
+                                      "inference stage (repro buckets "
+                                      "fit output); targets execute at "
+                                      "their padded bucket size; "
+                                      "persisted with the campaign")
 
     campaign_run = campaign_sub.add_parser(
         "run", parents=[campaign_exec, campaign_cohort],
@@ -1140,6 +1265,12 @@ def build_parser() -> argparse.ArgumentParser:
                                 help="feature-store entries to rot")
     cluster_common.add_argument("--format", choices=["text", "json"],
                                 default="text")
+    cluster_common.add_argument("--compile-cache",
+                                choices=["none", "shared"],
+                                default="none",
+                                help="fleet-shared XLA executable cache: "
+                                     "'shared' lets every node reuse the "
+                                     "first compile per bucket x platform")
 
     cluster_sim = sub.add_parser(
         "cluster-sim", parents=[cluster_common],
@@ -1175,6 +1306,36 @@ def build_parser() -> argparse.ArgumentParser:
                                action="store_true",
                                help="skip the byte-identical rerun")
     cluster_chaos.set_defaults(func=cmd_cluster_chaos)
+
+    buckets_p = sub.add_parser(
+        "buckets",
+        help="fit shape-bucket boundaries to a token-length "
+             "distribution and compare padded-token waste "
+             "(docs/bucketing.md)",
+    )
+    buckets_sub = buckets_p.add_subparsers(
+        dest="buckets_command", required=True
+    )
+    buckets_fit = buckets_sub.add_parser(
+        "fit",
+        help="emit an optimized bucket list (DP over the empirical "
+             "CDF) plus a waste comparison vs pow2/fixed",
+    )
+    buckets_fit.add_argument(
+        "--source", default="realistic",
+        help="'realistic' (seeded production mix), 'cohort' (the "
+             "paper's targets), or a file: campaign manifest "
+             "(CSV/JSON), JSON length array, or JSON trace rows",
+    )
+    buckets_fit.add_argument("--requests", type=int, default=2000,
+                             help="sample size for --source realistic")
+    buckets_fit.add_argument("--max-buckets", type=int, default=13,
+                             help="edge budget (compiles scale with it)")
+    buckets_fit.add_argument("--min-width", type=int, default=1,
+                             help="minimum spacing between edges")
+    buckets_fit.add_argument("--format", choices=["text", "json"],
+                             default="text")
+    buckets_fit.set_defaults(func=cmd_buckets_fit)
 
     observe_common = argparse.ArgumentParser(add_help=False)
     observe_common.add_argument("--platform", default="Server",

@@ -72,6 +72,9 @@ class ClusterChaosConfig:
     policy: str = "queue-depth"
     migration: bool = True
     max_attempts: int = 6
+    #: Fleet-shared XLA compile cache ("none"/"shared"); validated by
+    #: :class:`~repro.cluster.scheduler.ClusterConfig`.
+    compile_cache: str = "none"
     # -- fault mix (counts over the campaign horizon) ------------------
     preemption_notices: int = 10
     crashes: int = 3
@@ -176,6 +179,7 @@ def build_campaign(config: ClusterChaosConfig):
         policy=config.policy,
         migration=config.migration,
         max_attempts=config.max_attempts,
+        compile_cache=config.compile_cache,
     )
     return jobs, plan, cluster_config
 

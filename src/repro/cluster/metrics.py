@@ -99,6 +99,10 @@ class ClusterReport:
     queue_requeues: int
     faults: "OrderedDict[str, object]"
     store_counters: Optional["OrderedDict[str, int]"]
+    #: Fleet-shared XLA compile-cache counters; None when the run
+    #: compiled per node (``compile_cache="none"``), keeping the
+    #: historical summary schema exactly.
+    compile_cache_counters: Optional["OrderedDict[str, object]"] = None
 
     @property
     def throughput_jobs_per_hour(self) -> float:
@@ -154,6 +158,8 @@ class ClusterReport:
         )
         if self.store_counters is not None:
             out["store"] = self.store_counters
+        if self.compile_cache_counters is not None:
+            out["compile_cache"] = self.compile_cache_counters
         return out
 
     def render(self) -> str:
@@ -174,6 +180,13 @@ class ClusterReport:
             f"{self.throughput_jobs_per_hour:.2f} jobs/h, "
             f"p99 {self.latency.p99 / 3600.0:.2f}h",
         ]
+        if self.compile_cache_counters is not None:
+            cc = self.compile_cache_counters
+            lines.append(
+                f"  compile cache: {cc.get('hits', 0)} hits / "
+                f"{cc.get('misses', 0)} misses, "
+                f"{cc.get('seconds_saved', 0.0):,.0f} s compile saved"
+            )
         for name, pool in self.pools.items():
             lines.append(
                 f"    {name:<16} {pool.nodes_booted} booted / "
@@ -239,6 +252,11 @@ def build_cluster_report(scheduler, duration_seconds: float) -> ClusterReport:
         store_counters=(
             scheduler.store.counters()
             if scheduler.store is not None else None
+        ),
+        compile_cache_counters=(
+            scheduler.compile_cache.summary()
+            if getattr(scheduler, "compile_cache", None) is not None
+            else None
         ),
     )
 

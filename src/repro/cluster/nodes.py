@@ -106,6 +106,7 @@ class Node:
         pool: NodePoolSpec,
         booted_at: float,
         breaker: Optional[CircuitBreaker] = None,
+        compile_cache=None,
     ) -> None:
         self.node_id = node_id
         self.pool = pool
@@ -114,8 +115,12 @@ class Node:
             index=node_id, breaker=breaker or CircuitBreaker()
         )
         #: Private engine: warm-up + XLA compile are paid by this
-        #: node's first inference (and again after every crash).
-        self.engine = InferenceServer(self.platform)
+        #: node's first inference (and again after every crash) —
+        #: unless a fleet-shared ``compile_cache``
+        #: (:class:`repro.buckets.SharedCompileCache`, the
+        #: --jax_compilation_cache_dir model) turns later nodes'
+        #: compiles into cheap deserializes.
+        self.engine = InferenceServer(self.platform, compile_cache=compile_cache)
         self.state = NodeState.BOOTING
         self.booted_at = booted_at
         self.terminated_at: Optional[float] = None

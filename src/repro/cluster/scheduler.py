@@ -20,6 +20,7 @@ import dataclasses
 import heapq
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..buckets.compile_cache import SharedCompileCache
 from ..faults.plan import FaultEvent, FaultKind, FaultPlan, GPU_DOMAIN
 from ..faults.recovery import CheckpointStore, FaultStats, MsaCheckpoint
 from ..msa.database import SCAN_SHARDS
@@ -67,6 +68,11 @@ class ClusterConfig:
     #: checkpointing.  Disabled only for the differential audit that
     #: proves migration saves compute.
     migration: bool = True
+    #: Fleet-shared XLA compile cache ("none" keeps per-node compile;
+    #: "shared" models one --jax_compilation_cache_dir every node
+    #: mounts, so scale-out stops re-paying compile per node and the
+    #: autoscaler's cold-start cost drops to deserialize + warm-up).
+    compile_cache: str = "none"
 
     def __post_init__(self) -> None:
         if not self.pools:
@@ -82,6 +88,11 @@ class ClusterConfig:
         names = [p.name for p in self.pools]
         if len(set(names)) != len(names):
             raise ValueError("pool names must be unique")
+        if self.compile_cache not in ("none", "shared"):
+            raise ValueError(
+                "compile_cache must be 'none' or 'shared', "
+                f"got {self.compile_cache!r}"
+            )
 
 
 class _ScanState:
@@ -134,6 +145,12 @@ class ClusterScheduler:
         self.monotonic_violations = 0
 
         self.nodes: List[Node] = []
+        #: Fleet-shared executable cache (the persistent artifact
+        #: store every node mounts); crashes and reclaims never clear
+        #: it, which is exactly the cold-start amortization it models.
+        self.compile_cache = (
+            SharedCompileCache() if cfg.compile_cache == "shared" else None
+        )
         self.queue = PriorityJobQueue()
         self.ledger = MigrationLedger()
         self.checkpoints = CheckpointStore()
@@ -196,7 +213,10 @@ class ClusterScheduler:
     # -- node lifecycle --------------------------------------------------
 
     def _boot_node(self, pool: NodePoolSpec, at: float) -> Node:
-        node = Node(len(self.nodes), pool, booted_at=at)
+        node = Node(
+            len(self.nodes), pool, booted_at=at,
+            compile_cache=self.compile_cache,
+        )
         self.nodes.append(node)
         self.probe.node_booted(node, at)
         self._push(

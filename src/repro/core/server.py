@@ -21,9 +21,12 @@ from ..hardware.platform import Platform
 from ..model.config import ModelConfig
 from ..sequences.sample import InputSample
 
-#: Token-count bucket boundaries used for shape padding.  Matches the
-#: coarse bucketing AF3's JAX pipeline uses to bound recompilations.
-DEFAULT_BUCKETS = (256, 512, 768, 1024, 1536, 2048, 3072, 4096)
+#: Token-count bucket boundaries used for shape padding.  The full AF3
+#: ``--buckets`` flag default (SNIPPETS.md Snippet 1): 13 edges from
+#: 256 to the 5120-token shape ceiling.
+DEFAULT_BUCKETS = (
+    256, 512, 768, 1024, 1280, 1536, 2048, 2560, 3072, 3584, 4096, 4608, 5120,
+)
 
 
 def bucket_for(num_tokens: int, buckets=DEFAULT_BUCKETS) -> int:
@@ -101,12 +104,22 @@ class InferenceServer:
         buckets=DEFAULT_BUCKETS,
         attention: str = "chunked",
         attention_block: Optional[int] = None,
+        compile_cache=None,
     ) -> None:
         """``attention``/``attention_block`` pick the worker's
         attention schedule (``"chunked"`` default, ``"resident"``, or
         a memory-planner ``"tiled"`` block — see
         docs/memory_planner.md); they change admission (memory demand
-        per batch) exactly as on :class:`Af3Pipeline`."""
+        per batch) exactly as on :class:`Af3Pipeline`.
+
+        ``compile_cache`` optionally points at a
+        :class:`repro.buckets.SharedCompileCache` shared with other
+        workers/nodes (AF3's ``--jax_compilation_cache_dir``): a
+        local compile miss first consults it — a shared hit pays only
+        the deserialize cost, a shared miss pays the full compile and
+        publishes.  The cache survives :meth:`reset` (it lives outside
+        the process), which is exactly why re-warm after a crash gets
+        cheaper with it."""
         if attention not in ("chunked", "resident", "tiled"):
             raise ValueError(
                 "attention must be 'chunked', 'resident' or 'tiled', "
@@ -126,6 +139,7 @@ class InferenceServer:
             chunked_triangle=(attention != "resident"),
             attention_block=self.attention_block,
         )
+        self.compile_cache = compile_cache
         self._initialized = False
         self._compiled_buckets: Dict[int, float] = {}
         self.history: List[RequestResult] = []
@@ -153,6 +167,24 @@ class InferenceServer:
         self._compiled_buckets.clear()
         self.cold_starts += 1
 
+    def _compile_cost(self, bucket: int, full_compile_seconds: float) -> float:
+        """Compile seconds this request pays, consulting the shared cache.
+
+        A bucket already warm in this process costs nothing.  Otherwise
+        the shared cache (if any) arbitrates: hit pays the deserialize
+        cost, miss pays ``full_compile_seconds`` and publishes.
+        """
+        if bucket in self._compiled_buckets:
+            return 0.0
+        if self.compile_cache is not None:
+            compile_s = self.compile_cache.lookup(
+                self.platform.name, bucket, full_compile_seconds
+            )
+        else:
+            compile_s = full_compile_seconds
+        self._compiled_buckets[bucket] = compile_s
+        return compile_s
+
     def submit(self, sample: InputSample, msa_depth: int = 128) -> RequestResult:
         """Serve one request, paying only the cold costs still owed."""
         num_tokens = sample.assembly.num_tokens
@@ -163,10 +195,7 @@ class InferenceServer:
         if not self._initialized:
             init = cold.initialization
             self._initialized = True
-        compile_s = 0.0
-        if bucket not in self._compiled_buckets:
-            compile_s = cold.xla_compile
-            self._compiled_buckets[bucket] = compile_s
+        compile_s = self._compile_cost(bucket, cold.xla_compile)
 
         # Compute runs at the PADDED bucket size: padding waste is the
         # price of the executable cache.
@@ -223,10 +252,7 @@ class InferenceServer:
         if not self._initialized:
             init = cold.initialization
             self._initialized = True
-        compile_s = 0.0
-        if bucket not in self._compiled_buckets:
-            compile_s = cold.xla_compile
-            self._compiled_buckets[bucket] = compile_s
+        compile_s = self._compile_cost(bucket, cold.xla_compile)
         result = BatchResult(
             bucket=bucket,
             batch_size=len(token_counts),

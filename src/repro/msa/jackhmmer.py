@@ -36,7 +36,12 @@ from ..trace import AccessPattern, OpRecord, WorkloadTrace
 from .database import BufferedDatabaseReader, SCAN_SHARDS, SequenceDatabase
 from .dp import calc_band_9, calc_band_10, msv_filter
 from .evalue import GumbelParams, calibrate
-from .kernels import run_cascade, viterbi_panel_scores
+from .kernels import (
+    pad_waste,
+    run_cascade,
+    scan_waste_summary,
+    viterbi_panel_scores,
+)
 from .profile_hmm import ProfileHMM, encode_sequence
 
 # Instruction costs per DP cell.  MSV is a 16-lane striped SIMD scan
@@ -145,6 +150,12 @@ class SearchResult:
     scan_outcomes: List[ExecutionOutcome] = dataclasses.field(
         default_factory=list
     )
+    #: Scan summary of per-bucket padded-token waste (padded vs real
+    #: tokens under the batched kernels' power-of-two buckets), merged
+    #: across shards and iterations by
+    #: :func:`repro.msa.kernels.scan_waste_summary` — kernel bucketing
+    #: overhead as measured by this search, not assumed.
+    scan_waste: dict = dataclasses.field(default_factory=dict)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -160,6 +171,11 @@ class ShardScanResult:
     msv_cells: int
     vit_cells: int
     fwd_cells: int
+    #: Per-bucket ``(padded_len, targets, real_tokens)`` under the
+    #: batched kernels' power-of-two geometry.  Identical for both
+    #: kernel modes (a pure function of target lengths), so the
+    #: scalar/batched bit-identity contract covers it too.
+    pad_waste: Tuple[Tuple[int, int, int], ...] = ()
 
 
 def scan_protein_shard(payload) -> ShardScanResult:
@@ -199,6 +215,7 @@ def scan_protein_shard(payload) -> ShardScanResult:
             msv_cells=outcome.msv_cells,
             vit_cells=outcome.vit_cells,
             fwd_cells=outcome.fwd_cells,
+            pad_waste=outcome.pad_waste,
         )
     hits: List[Hit] = []
     msv_cells = vit_cells = fwd_cells = 0
@@ -233,6 +250,9 @@ def scan_protein_shard(payload) -> ShardScanResult:
         msv_cells=msv_cells,
         vit_cells=vit_cells,
         fwd_cells=fwd_cells,
+        pad_waste=pad_waste(
+            [len(encoded) for _, _, encoded in targets]
+        ),
     )
 
 
@@ -327,6 +347,7 @@ class JackhmmerSearch:
         # shards and the merged result is byte-identical to serial.
         bounds = shard_bounds(len(encoded_targets), self.scan_shards)
         scan_outcomes: List[ExecutionOutcome] = []
+        waste_triples: List[Tuple[int, int, int]] = []
 
         for iteration in range(cfg.iterations):
             stats.iterations = iteration + 1
@@ -347,6 +368,8 @@ class JackhmmerSearch:
             fwd_cells = sum(r.fwd_cells for r in shard_results)
             msv_pass = sum(r.msv_pass for r in shard_results)
             vit_pass = sum(r.vit_pass for r in shard_results)
+            for r in shard_results:
+                waste_triples.extend(r.pad_waste)
 
             stats.msv.candidates += sum(r.candidates for r in shard_results)
             stats.viterbi.candidates += msv_pass
@@ -388,6 +411,7 @@ class JackhmmerSearch:
             trace=trace,
             gumbel=gumbel,
             scan_outcomes=scan_outcomes,
+            scan_waste=scan_waste_summary(waste_triples),
         )
 
     def _emit_iteration_trace(

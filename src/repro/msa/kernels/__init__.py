@@ -11,7 +11,15 @@ stages.  Everything is bit-identical to the scalar kernels — see
 docs/kernels.md for the design and the argument for exactness.
 """
 
-from .batch import PAD, TargetBatch, batch_targets, emission_tensor, pad_length
+from .batch import (
+    PAD,
+    TargetBatch,
+    batch_targets,
+    emission_tensor,
+    pad_length,
+    pad_waste,
+    scan_waste_summary,
+)
 from .batched import (
     BatchKernelResult,
     calc_band_9_batch,
@@ -32,6 +40,8 @@ __all__ = [
     "emission_tensor",
     "msv_filter_batch",
     "pad_length",
+    "pad_waste",
     "run_cascade",
+    "scan_waste_summary",
     "viterbi_panel_scores",
 ]

@@ -23,7 +23,8 @@ striped filters make when they round targets into SIMD vector lanes.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Sequence, Tuple
+from collections import OrderedDict
+from typing import Dict, Iterable, List, Sequence, Tuple
 
 import numpy as np
 
@@ -62,6 +63,16 @@ class TargetBatch:
     @property
     def size(self) -> int:
         return len(self.indices)
+
+    @property
+    def real_tokens(self) -> int:
+        """Sum of true sequence lengths across the batch."""
+        return int(self.seq_lens.sum())
+
+    @property
+    def padded_tokens(self) -> int:
+        """Tokens the kernels actually compute over: rows × width."""
+        return self.size * self.padded_len
 
     def valid_mask(self) -> np.ndarray:
         """Boolean ``(B, P)`` mask of real (non-padding) columns."""
@@ -109,6 +120,68 @@ def batch_targets(
             padded_len=width,
         ))
     return batches
+
+
+def pad_waste(lengths: Iterable[int]) -> Tuple[Tuple[int, int, int], ...]:
+    """Per-bucket ``(padded_len, targets, real_tokens)`` accounting.
+
+    A pure function of the target lengths under :func:`pad_length`
+    geometry, so the scalar shard loop (which never pads) can report
+    the *same* numbers the batched cascade measures from its actual
+    :class:`TargetBatch` shapes — waste is a property of the bucketing
+    scheme, not of which kernel executed, and keeping both paths equal
+    preserves the kernels' bit-identity contract.
+    """
+    buckets: Dict[int, List[int]] = {}
+    for length in lengths:
+        buckets.setdefault(pad_length(int(length)), []).append(int(length))
+    return tuple(
+        (width, len(members), sum(members))
+        for width, members in sorted(buckets.items())
+    )
+
+
+def scan_waste_summary(
+    triples: Iterable[Tuple[int, int, int]],
+) -> "OrderedDict[str, object]":
+    """Merge per-bucket ``(padded_len, targets, real_tokens)`` triples
+    into the scan summary: per-bucket padded-vs-real token counts plus
+    totals, so kernel bucketing overhead is measured, not assumed.
+
+    Accepts triples from many shards/iterations of one scan (the same
+    width may repeat); keys per-bucket entries by the decimal width for
+    JSON stability, mirroring ``repro.buckets`` waste reports.
+    """
+    merged: Dict[int, List[int]] = {}
+    for width, targets, real_tokens in triples:
+        entry = merged.setdefault(int(width), [0, 0])
+        entry[0] += int(targets)
+        entry[1] += int(real_tokens)
+    per_bucket: "OrderedDict[str, OrderedDict]" = OrderedDict()
+    total_targets = total_real = total_padded = 0
+    for width in sorted(merged):
+        targets, real_tokens = merged[width]
+        padded_tokens = targets * width
+        per_bucket[str(width)] = OrderedDict(
+            targets=targets,
+            real_tokens=real_tokens,
+            padded_tokens=padded_tokens,
+            waste_tokens=padded_tokens - real_tokens,
+        )
+        total_targets += targets
+        total_real += real_tokens
+        total_padded += padded_tokens
+    waste = total_padded - total_real
+    return OrderedDict(
+        targets=total_targets,
+        real_tokens=total_real,
+        padded_tokens=total_padded,
+        waste_tokens=waste,
+        waste_pct=round(100.0 * waste / total_padded, 4)
+        if total_padded
+        else 0.0,
+        per_bucket=per_bucket,
+    )
 
 
 def emission_tensor(profile: ProfileHMM, batch: TargetBatch) -> np.ndarray:

@@ -46,6 +46,10 @@ class CascadeResult:
     msv_cells: int
     vit_cells: int
     fwd_cells: int
+    #: Measured per-bucket ``(padded_len, targets, real_tokens)`` of the
+    #: batches this cascade actually formed — the padded-vs-real token
+    #: accounting behind the scan's bucket-waste summary.
+    pad_waste: Tuple[Tuple[int, int, int], ...] = ()
 
 
 def run_cascade(
@@ -63,8 +67,15 @@ def run_cascade(
     accepted: List[Tuple[int, float, float, float]] = []
     msv_cells = vit_cells = fwd_cells = 0
     msv_pass = vit_pass = 0
+    pad_waste: List[Tuple[int, int, int]] = []
 
     for batch in batch_targets(encoded_seqs):
+        # Record padded-vs-real tokens from the batch actually formed
+        # (the full candidate set, before survivor compaction — waste
+        # is paid by the scan, not by what clears the gates).
+        pad_waste.append(
+            (batch.padded_len, batch.size, batch.real_tokens)
+        )
         emissions = emission_tensor(profile, batch)
 
         msv = msv_filter_batch(profile, batch, emissions=emissions)
@@ -118,4 +129,5 @@ def run_cascade(
         msv_cells=msv_cells,
         vit_cells=vit_cells,
         fwd_cells=fwd_cells,
+        pad_waste=tuple(pad_waste),
     )

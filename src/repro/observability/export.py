@@ -308,6 +308,48 @@ def prometheus_metrics(report, prefix: str = "afsys_serving") -> str:
             kind = "gauge" if key == "rewarm_seconds" or key == "stall_seconds" else "counter"
             lines.append(f"# TYPE {name} {kind}")
             lines.append(f"{name}{labels} {value}")
+    bucket_waste = summary.get("bucket_waste")
+    if bucket_waste:
+        for key in ("requests", "real_tokens", "padded_tokens",
+                    "waste_tokens"):
+            name = f"{prefix}_bucket_waste_{key}_total"
+            lines.append(
+                f"# HELP {name} Padded-shape accounting of the "
+                f"configured bucket list (see docs/metrics_reference.md)."
+            )
+            lines.append(f"# TYPE {name} counter")
+            lines.append(f"{name}{labels} {bucket_waste[key]}")
+        name = f"{prefix}_bucket_waste_ratio"
+        lines.append(
+            f"# HELP {name} Waste tokens over padded tokens, percent."
+        )
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name}{labels} {bucket_waste['waste_pct']}")
+        name = f"{prefix}_bucket_requests"
+        lines.append(
+            f"# HELP {name} Requests landing in each bucket edge."
+        )
+        lines.append(f"# TYPE {name} counter")
+        for edge, stats in bucket_waste.get("per_bucket", {}).items():
+            lines.append(
+                f'{name}{labels[:-1]},bucket="{edge}"}} '
+                f'{stats["requests"]}'
+            )
+    compile_cache = summary.get("compile_cache")
+    if compile_cache:
+        for key, value in compile_cache.items():
+            name = f"{prefix}_compile_cache_{key}"
+            lines.append(
+                f"# HELP {name} Shared XLA compile-cache counter "
+                f"(see docs/metrics_reference.md)."
+            )
+            kind = (
+                "gauge"
+                if key in ("entries", "hit_cost_seconds", "seconds_saved")
+                else "counter"
+            )
+            lines.append(f"# TYPE {name} {kind}")
+            lines.append(f"{name}{labels} {value}")
     return "\n".join(lines) + "\n"
 
 
@@ -448,6 +490,21 @@ def cluster_prometheus_metrics(report, prefix: str = "afsys_cluster") -> str:
             kind = (
                 "gauge"
                 if key in ("hit_rate", "entries", "total_bytes")
+                else "counter"
+            )
+            lines.append(f"# TYPE {name} {kind}")
+            lines.append(f"{name}{labels} {value}")
+    compile_cache = summary.get("compile_cache")
+    if compile_cache:
+        for key, value in compile_cache.items():
+            name = f"{prefix}_compile_cache_{key}"
+            lines.append(
+                f"# HELP {name} Fleet-shared XLA compile-cache counter "
+                f"(see docs/metrics_reference.md)."
+            )
+            kind = (
+                "gauge"
+                if key in ("entries", "hit_cost_seconds", "seconds_saved")
                 else "counter"
             )
             lines.append(f"# TYPE {name} {kind}")

@@ -50,6 +50,8 @@ import heapq
 from collections import OrderedDict
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..buckets.compile_cache import SharedCompileCache
+from ..buckets.optimizer import waste_report
 from ..core.server import DEFAULT_BUCKETS, InferenceServer
 from ..faults.plan import FaultEvent, FaultKind, FaultPlan, GPU_DOMAIN, MSA_DOMAIN
 from ..faults.recovery import (
@@ -205,6 +207,11 @@ class GatewayConfig:
     #    path (docs/memory_planner.md) ------------------------------
     attention: str = "chunked"
     attention_block: Optional[int] = None
+    # -- shared XLA compile cache across GPU workers ("none" keeps the
+    #    historical per-worker compilation; "shared" models one
+    #    --jax_compilation_cache_dir every worker mounts, so only the
+    #    first compile per bucket pays full price; docs/bucketing.md) --
+    compile_cache: str = "none"
 
     def __post_init__(self) -> None:
         if self.num_gpu_workers < 1 or self.num_msa_workers < 1:
@@ -232,6 +239,15 @@ class GatewayConfig:
             )
         if self.attention_block is not None and self.attention_block < 1:
             raise ValueError("attention_block must be >= 1 (or None)")
+        if self.compile_cache not in ("none", "shared"):
+            raise ValueError(
+                "compile_cache must be 'none' or 'shared', "
+                f"got {self.compile_cache!r}"
+            )
+        if len(self.buckets) < 1 or any(b < 1 for b in self.buckets):
+            raise ValueError(f"buckets must be positive, got {self.buckets}")
+        if len(set(self.buckets)) != len(self.buckets):
+            raise ValueError(f"buckets must be unique, got {self.buckets}")
 
 
 # Event kinds, in deterministic tie-break order at equal timestamps:
@@ -274,11 +290,20 @@ class ServingGateway:
         )
         self._model_config = model_config
         self.fault_plan = fault_plan
+        #: One fleet-shared executable cache across every GPU worker
+        #: when enabled (the --jax_compilation_cache_dir model); it
+        #: survives worker crashes/restarts by construction because it
+        #: lives on the gateway, not the worker.
+        self.compile_cache = (
+            SharedCompileCache() if self.config.compile_cache == "shared"
+            else None
+        )
         self.workers: List[InferenceServer] = [
             InferenceServer(
                 platform, model_config, self.config.buckets,
                 attention=self.config.attention,
                 attention_block=self.config.attention_block,
+                compile_cache=self.compile_cache,
             )
             for _ in range(self.config.num_gpu_workers)
         ]
@@ -397,6 +422,8 @@ class ServingGateway:
             oom_events=self._oom_events,
             fault_summary=self._fault_summary(),
             store_summary=self._store_summary(),
+            bucket_waste_summary=self._bucket_waste_summary(requests),
+            compile_cache_summary=self._compile_cache_summary(),
         )
 
     def _make_breaker(self) -> CircuitBreaker:
@@ -463,6 +490,26 @@ class ServingGateway:
                 ("total_bytes", self.store.total_bytes),
             ]
         )
+
+    def _bucket_waste_summary(
+        self, requests: Sequence[ServingRequest]
+    ) -> Optional[Dict[str, object]]:
+        """The report's ``bucket_waste`` section: padded-token
+        accounting of the configured bucket list over the submitted
+        stream.  None on the stock ``DEFAULT_BUCKETS``, keeping the
+        historical summary schema byte-identical."""
+        if tuple(self.config.buckets) == DEFAULT_BUCKETS:
+            return None
+        lengths = [r.num_tokens for r in requests]
+        return waste_report(lengths, self.config.buckets).summary()
+
+    def _compile_cache_summary(self) -> Optional[Dict[str, object]]:
+        """The report's ``compile_cache`` section: shared-cache
+        counters across all GPU workers.  None in ``"none"`` mode,
+        keeping the historical summary schema byte-identical."""
+        if self.compile_cache is None:
+            return None
+        return self.compile_cache.summary()
 
     def _push(self, kind: int, when: float, payload: object) -> None:
         """Schedule an event; (time, kind, seq) ordering keeps the

@@ -129,6 +129,15 @@ class ServingReport:
     #: ran without a store, so store-less summaries keep their
     #: historical schema exactly.
     store_summary: Optional[Dict[str, object]] = None
+    #: Padded-token waste of the configured bucket list over this run's
+    #: stream (``repro.buckets`` accounting); None when the gateway ran
+    #: on the stock ``DEFAULT_BUCKETS``, so default-bucket summaries
+    #: keep their historical schema exactly.
+    bucket_waste_summary: Optional[Dict[str, object]] = None
+    #: Shared XLA compile-cache counters (entries/hits/misses/seconds
+    #: saved); None when the run used per-worker compilation only
+    #: (``compile_cache="none"``), keeping the historical schema.
+    compile_cache_summary: Optional[Dict[str, object]] = None
 
     @property
     def throughput_rps(self) -> float:
@@ -171,6 +180,10 @@ class ServingReport:
             out["store"] = self.store_summary
         if self.fault_summary is not None:
             out["faults"] = self.fault_summary
+        if self.bucket_waste_summary is not None:
+            out["bucket_waste"] = self.bucket_waste_summary
+        if self.compile_cache_summary is not None:
+            out["compile_cache"] = self.compile_cache_summary
         return out
 
     def to_json(self) -> str:
@@ -233,6 +246,21 @@ class ServingReport:
                 f"breaker {f.get('breaker_opens', 0)} opens / "
                 f"{f.get('breaker_closes', 0)} closes"
             )
+        if self.bucket_waste_summary is not None:
+            bw = self.bucket_waste_summary
+            lines.append(
+                f"  buckets    : {len(bw.get('buckets', []))} edges, "
+                f"{bw.get('waste_tokens', 0)} padded-waste tokens "
+                f"({bw.get('waste_pct', 0.0):.2f} % of "
+                f"{bw.get('padded_tokens', 0)} padded)"
+            )
+        if self.compile_cache_summary is not None:
+            cc = self.compile_cache_summary
+            lines.append(
+                f"  compile $  : shared cache {cc.get('hits', 0)} hits / "
+                f"{cc.get('misses', 0)} misses, "
+                f"{cc.get('seconds_saved', 0.0):,.0f} s compile saved"
+            )
         return "\n".join(lines)
 
 
@@ -254,6 +282,8 @@ def build_report(
     oom_events: int,
     fault_summary: Optional[Dict[str, object]] = None,
     store_summary: Optional[Dict[str, object]] = None,
+    bucket_waste_summary: Optional[Dict[str, object]] = None,
+    compile_cache_summary: Optional[Dict[str, object]] = None,
 ) -> ServingReport:
     """Assemble the report from the finished request ledger plus the
     gateway's run counters.  Latency sections cover full-quality
@@ -307,4 +337,6 @@ def build_report(
         requests=list(requests),
         fault_summary=fault_summary,
         store_summary=store_summary,
+        bucket_waste_summary=bucket_waste_summary,
+        compile_cache_summary=compile_cache_summary,
     )

@@ -1,0 +1,354 @@
+"""Bucket optimizer + shared compile-cache tests.
+
+Three layers of protection around ``repro.buckets``:
+
+* Hypothesis property suites — the DP optimizer always returns sorted
+  unique edges covering the maximum length, never does worse than the
+  fixed power-of-two baseline it replaces, and is deterministic; the
+  compile-cache counters obey their conservation invariants under any
+  lookup sequence.
+* Golden regression — the realistic-traffic comparison report is
+  pinned byte-for-byte (including the >= 25% waste-reduction
+  acceptance bar), as are the serving and cluster shifts the shared
+  cache produces.
+* Differentials — ``--compile-cache none`` is strictly slower than
+  ``shared`` on the same seeded stream, and a gateway configured with
+  the default buckets and no cache reproduces the pre-existing golden
+  byte-identically (the feature is invisible until switched on).
+"""
+
+import json
+import pathlib
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.buckets import (
+    DEFAULT_HIT_COST_SECONDS,
+    SharedCompileCache,
+    compare_bucketings,
+    fit_buckets,
+    paper_cohort_lengths,
+    parse_bucket_spec,
+    power_of_two_buckets,
+    realistic_mix,
+    waste_report,
+)
+from repro.cluster.jobs import build_job_stream
+from repro.cluster.scheduler import ClusterConfig, ClusterScheduler
+from repro.core.server import DEFAULT_BUCKETS, bucket_for
+from repro.hardware.platform import SERVER
+from repro.sequences.builtin import builtin_samples
+from repro.serving import (
+    GatewayConfig,
+    PoissonArrivals,
+    ServingGateway,
+    build_request_stream,
+)
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+COMPARISON_GOLDEN = GOLDEN_DIR / "bucket_comparison.json"
+SERVING_GOLDEN = GOLDEN_DIR / "serving_summary.json"
+SERVING_SHIFT_GOLDEN = GOLDEN_DIR / "bucket_serving_shift.json"
+CLUSTER_SHIFT_GOLDEN = GOLDEN_DIR / "bucket_cluster_shift.json"
+
+lengths_lists = st.lists(
+    st.integers(min_value=1, max_value=5120), min_size=1, max_size=120
+)
+
+
+# ---------------------------------------------------------------------------
+# Optimizer unit behaviour
+# ---------------------------------------------------------------------------
+
+
+class TestFitBuckets:
+    def test_single_length_gets_single_edge(self):
+        assert fit_buckets([300, 300, 300]) == (300,)
+
+    def test_enough_buckets_means_zero_waste(self):
+        lengths = [100, 200, 300, 400]
+        edges = fit_buckets(lengths, max_buckets=4)
+        assert edges == (100, 200, 300, 400)
+        assert waste_report(lengths, edges).waste_tokens == 0
+
+    def test_constrained_buckets_merge_cheapest_groups(self):
+        # One bucket must absorb two lengths; merging 100/110 (cost 10)
+        # beats merging 110/400 (cost 290 * 2 requests).
+        edges = fit_buckets([100, 110, 400], max_buckets=2)
+        assert edges == (110, 400)
+
+    def test_min_width_collapses_near_edges(self):
+        edges = fit_buckets([100, 101, 500], max_buckets=3, min_width=50)
+        assert edges == (101, 500)
+
+    def test_rejects_empty_and_nonpositive(self):
+        with pytest.raises(ValueError):
+            fit_buckets([])
+        with pytest.raises(ValueError):
+            fit_buckets([0, 10])
+        with pytest.raises(ValueError):
+            fit_buckets([10], max_buckets=0)
+
+    def test_parse_bucket_spec(self):
+        assert parse_bucket_spec("512,256,1024") == (256, 512, 1024)
+        with pytest.raises(ValueError):
+            parse_bucket_spec("")
+        with pytest.raises(ValueError):
+            parse_bucket_spec("256,abc")
+        with pytest.raises(ValueError):
+            parse_bucket_spec("0,256")
+
+    def test_power_of_two_buckets_cover(self):
+        edges = power_of_two_buckets(5120)
+        assert edges[-1] >= 5120
+        assert all(b == 2 * a for a, b in zip(edges, edges[1:]))
+
+    def test_waste_report_names_limit_like_bucket_for(self):
+        with pytest.raises(ValueError, match="exceeds the largest bucket"):
+            waste_report([600], (512,))
+
+
+# ---------------------------------------------------------------------------
+# Optimizer properties (hypothesis)
+# ---------------------------------------------------------------------------
+
+
+class TestOptimizerProperties:
+    @given(lengths_lists)
+    @settings(max_examples=120, deadline=None)
+    def test_edges_sorted_unique_and_cover_max(self, lengths):
+        edges = fit_buckets(lengths)
+        assert list(edges) == sorted(set(edges))
+        assert edges[-1] == max(lengths)
+        # Every length routes into some bucket (bucket_for never raises).
+        for n in lengths:
+            assert bucket_for(n, edges) >= n
+
+    @given(lengths_lists)
+    @settings(max_examples=120, deadline=None)
+    def test_never_worse_than_power_of_two(self, lengths):
+        pow2 = power_of_two_buckets(max(lengths))
+        fitted = fit_buckets(
+            lengths, max_buckets=max(len(pow2), len(DEFAULT_BUCKETS))
+        )
+        assert (
+            waste_report(lengths, fitted).waste_tokens
+            <= waste_report(lengths, pow2).waste_tokens
+        )
+
+    @given(lengths_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_deterministic_and_order_insensitive(self, lengths):
+        edges = fit_buckets(lengths)
+        assert fit_buckets(lengths) == edges
+        assert fit_buckets(list(reversed(lengths))) == edges
+
+    @given(lengths_lists, st.integers(min_value=1, max_value=8))
+    @settings(max_examples=60, deadline=None)
+    def test_respects_max_buckets(self, lengths, max_buckets):
+        edges = fit_buckets(lengths, max_buckets=max_buckets)
+        assert 1 <= len(edges) <= max_buckets
+
+    @given(lengths_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_waste_accounting_is_conserved(self, lengths):
+        report = waste_report(lengths, fit_buckets(lengths))
+        assert report.real_tokens == sum(lengths)
+        assert report.padded_tokens >= report.real_tokens
+        assert report.waste_tokens == (
+            report.padded_tokens - report.real_tokens
+        )
+        per = report.summary()["per_bucket"]
+        assert sum(e["requests"] for e in per.values()) == len(lengths)
+
+
+# ---------------------------------------------------------------------------
+# Compile-cache invariants
+# ---------------------------------------------------------------------------
+
+
+class TestCompileCache:
+    def test_miss_then_hit_cost_and_savings(self):
+        cache = SharedCompileCache()
+        assert cache.lookup("Server", 512, 60.0) == 60.0
+        assert cache.misses == 1 and cache.hits == 0
+        cost = cache.lookup("Server", 512, 60.0)
+        assert cost == DEFAULT_HIT_COST_SECONDS
+        assert cache.hits == 1
+        assert cache.seconds_saved == pytest.approx(60.0 - cost)
+
+    def test_keyed_by_platform_and_bucket(self):
+        cache = SharedCompileCache()
+        cache.lookup("Server", 512, 60.0)
+        assert cache.lookup("Server", 1024, 60.0) == 60.0
+        assert cache.lookup("Desktop", 512, 60.0) == 60.0
+        assert len(cache) == 3 and cache.hits == 0
+
+    def test_hit_never_costs_more_than_compile(self):
+        cache = SharedCompileCache(hit_cost_seconds=5.0)
+        cache.lookup("Server", 256, 1.0)
+        assert cache.lookup("Server", 256, 1.0) == 1.0
+        assert cache.seconds_saved == 0.0
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["Server", "Desktop"]),
+                st.sampled_from([256, 512, 1024]),
+                st.floats(min_value=0.1, max_value=300.0),
+            ),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_counter_conservation(self, lookups):
+        cache = SharedCompileCache()
+        total = 0.0
+        for platform, bucket, compile_seconds in lookups:
+            total += cache.lookup(platform, bucket, compile_seconds)
+        assert cache.hits + cache.misses == len(lookups)
+        assert cache.misses == len(cache)
+        assert cache.seconds_saved >= 0.0
+        # Conservation: paid + saved == what cold lookups would cost.
+        assert total + cache.seconds_saved == pytest.approx(
+            sum(cs for _, _, cs in lookups)
+        )
+
+
+def _shared_cache_streams():
+    samples = list(builtin_samples().values())
+    return build_request_stream(
+        samples, 120, PoissonArrivals(0.02, seed=7), seed=7
+    )
+
+
+def _gateway_report(compile_cache: str):
+    config = GatewayConfig(
+        num_gpu_workers=4, num_msa_workers=4,
+        max_batch=4, max_wait_seconds=120.0,
+        compile_cache=compile_cache,
+    )
+    gateway = ServingGateway(SERVER, config)
+    report = gateway.run(_shared_cache_streams())
+    return gateway, report
+
+
+class TestGatewayCompileCache:
+    def test_hits_bounded_by_misses_times_workers(self):
+        gateway, _ = _gateway_report("shared")
+        cache = gateway.compile_cache
+        workers = gateway.config.num_gpu_workers
+        assert cache.misses >= 1
+        assert cache.hits <= cache.misses * workers
+
+    def test_none_is_strictly_slower(self):
+        gateway, shared = _gateway_report("shared")
+        _, cold = _gateway_report("none")
+        assert gateway.compile_cache.seconds_saved > 0.0
+        assert shared.latency.p95 <= cold.latency.p95
+        assert shared.latency.p99 < cold.latency.p99
+        assert shared.latency.mean < cold.latency.mean
+
+    def test_shared_shift_matches_golden(self):
+        _, shared = _gateway_report("shared")
+        got = json.loads(json.dumps(shared.summary()))
+        golden = json.loads(SERVING_SHIFT_GOLDEN.read_text())
+        assert got == golden
+
+    def test_summary_has_compile_cache_only_when_shared(self):
+        _, shared = _gateway_report("shared")
+        _, cold = _gateway_report("none")
+        assert "compile_cache" in shared.summary()
+        assert "compile_cache" not in cold.summary()
+
+
+# ---------------------------------------------------------------------------
+# Waste comparison golden (the >= 25% acceptance bar)
+# ---------------------------------------------------------------------------
+
+
+def _comparison():
+    lengths = realistic_mix(seed=0, n=2000)
+    return compare_bucketings(lengths, [
+        ("pow2", power_of_two_buckets(max(lengths))),
+        ("af3-default", DEFAULT_BUCKETS),
+        ("adaptive", fit_buckets(lengths, max_buckets=len(DEFAULT_BUCKETS))),
+    ])
+
+
+class TestComparisonGolden:
+    def test_adaptive_cuts_waste_by_at_least_25pct(self):
+        comparison = _comparison()
+        assert comparison.reduction_pct("adaptive") >= 25.0
+        # Also >= 25% against the AF3 default list, not just pow2.
+        summary = comparison.summary()
+        default_waste = summary["schemes"]["af3-default"]["waste_tokens"]
+        adaptive_waste = summary["schemes"]["adaptive"]["waste_tokens"]
+        assert adaptive_waste <= 0.75 * default_waste
+
+    def test_comparison_matches_golden(self):
+        got = json.loads(json.dumps(_comparison().summary()))
+        golden = json.loads(COMPARISON_GOLDEN.read_text())
+        assert got == golden
+
+    def test_paper_cohort_fits_exactly(self):
+        lengths = paper_cohort_lengths()
+        edges = fit_buckets(lengths, max_buckets=len(lengths))
+        assert waste_report(lengths, edges).waste_tokens == 0
+
+
+# ---------------------------------------------------------------------------
+# Off-switch byte-identity: fixed buckets + no cache == existing golden
+# ---------------------------------------------------------------------------
+
+
+class TestOffSwitchByteIdentity:
+    def test_fixed_none_reproduces_serving_golden(self):
+        """Explicitly passing the defaults must not perturb one byte of
+        the pre-existing serving golden."""
+        samples = list(builtin_samples().values())
+        stream = build_request_stream(
+            samples, 200, PoissonArrivals(0.02, seed=42), seed=42
+        )
+        config = GatewayConfig(
+            num_gpu_workers=4, num_msa_workers=4,
+            max_batch=4, max_wait_seconds=120.0,
+            buckets=DEFAULT_BUCKETS,
+            compile_cache="none",
+        )
+        got = ServingGateway(SERVER, config).run(stream).summary()
+        golden = json.loads(SERVING_GOLDEN.read_text())
+        assert json.loads(json.dumps(got)) == golden
+
+
+# ---------------------------------------------------------------------------
+# Cluster Pareto shift
+# ---------------------------------------------------------------------------
+
+
+def _cluster_summary(compile_cache: str):
+    jobs = build_job_stream(
+        80, num_chains=24, seed=3, arrival_rate_per_hour=80.0
+    )
+    config = ClusterConfig(policy="queue-depth", compile_cache=compile_cache)
+    scheduler = ClusterScheduler(config)
+    return scheduler.run(jobs).summary()
+
+
+class TestClusterCompileCache:
+    def test_shared_cache_shifts_latency(self):
+        shared = _cluster_summary("shared")
+        cold = _cluster_summary("none")
+        assert shared["compile_cache"]["seconds_saved"] > 0.0
+        assert "compile_cache" not in cold
+        assert (
+            shared["latency"]["p99"] < cold["latency"]["p99"]
+        )
+        assert shared["latency"]["mean"] < cold["latency"]["mean"]
+
+    def test_cluster_shift_matches_golden(self):
+        got = json.loads(json.dumps(_cluster_summary("shared")))
+        golden = json.loads(CLUSTER_SHIFT_GOLDEN.read_text())
+        assert got == golden

@@ -132,3 +132,81 @@ class TestClusterCommands:
         ])
         assert code == 0
         assert "1 kinds" in capsys.readouterr().out
+
+
+class TestBucketCommands:
+    def test_buckets_fit_text_renders_table_and_hint(self, capsys):
+        code = main([
+            "buckets", "fit", "--source", "realistic",
+            "--requests", "400",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Bucketing comparison" in out
+        assert "fitted buckets" in out
+        assert "repro serve-sim --buckets" in out
+
+    def test_buckets_fit_json_is_parseable_and_reduces_waste(self, capsys):
+        code = main([
+            "buckets", "fit", "--source", "realistic",
+            "--requests", "400", "--format", "json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["fitted"] == sorted(set(payload["fitted"]))
+        schemes = payload["comparison"]["schemes"]
+        assert (
+            schemes["adaptive"]["waste_reduction_vs_baseline_pct"] >= 25.0
+        )
+
+    def test_buckets_fit_cohort_source(self, capsys):
+        code = main([
+            "buckets", "fit", "--source", "cohort",
+            "--max-buckets", "4", "--format", "json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        # Five builtin samples, four buckets: every edge is an
+        # observed cohort length.
+        assert payload["fitted"] == [306, 484, 881, 1395]
+
+    def test_buckets_fit_rejects_unknown_source(self, capsys):
+        assert main(["buckets", "fit", "--source", "nope.xyz"]) == 2
+        assert "source" in capsys.readouterr().err
+
+    def test_serve_sim_adaptive_shared_emits_sections(self, capsys):
+        code = main([
+            "serve-sim", "--requests", "30", "--buckets", "adaptive",
+            "--compile-cache", "shared", "--no-baseline",
+            "--format", "json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["compile_cache"]["misses"] >= 1
+        assert payload["bucket_waste"]["requests"] == 30
+        # Adaptive edges sit at observed lengths: zero padding waste on
+        # the 5-sample builtin mix.
+        assert payload["bucket_waste"]["waste_tokens"] == 0
+
+    def test_serve_sim_fixed_none_omits_sections(self, capsys):
+        code = main([
+            "serve-sim", "--requests", "30", "--buckets", "fixed",
+            "--compile-cache", "none", "--no-baseline",
+            "--format", "json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "compile_cache" not in payload
+        assert "bucket_waste" not in payload
+
+    def test_serve_sim_csv_buckets(self, capsys):
+        code = main([
+            "serve-sim", "--requests", "20",
+            "--buckets", "512,1024,1536,2048", "--no-baseline",
+            "--format", "json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["bucket_waste"]["buckets"] == [
+            512, 1024, 1536, 2048
+        ]

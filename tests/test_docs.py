@@ -30,6 +30,7 @@ EXECUTABLE_DOCS = [
     DOCS / "cluster.md",
     DOCS / "campaign.md",
     DOCS / "memory_planner.md",
+    DOCS / "bucketing.md",
 ]
 
 _FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)
@@ -97,6 +98,7 @@ class TestIntraRepoLinks:
         assert "docs/cluster.md" in readme
         assert "docs/campaign.md" in readme
         assert "docs/memory_planner.md" in readme
+        assert "docs/bucketing.md" in readme
         assert "docs/README.md" in readme
 
     def test_docs_index_covers_every_guide(self):

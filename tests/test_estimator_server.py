@@ -87,6 +87,24 @@ class TestBuckets:
         with pytest.raises(ValueError):
             bucket_for(10_000)
 
+    def test_default_list_is_full_af3_flag_default(self):
+        # SNIPPETS.md Snippet 1: --buckets 256,...,5120 (13 edges).
+        assert DEFAULT_BUCKETS == (
+            256, 512, 768, 1024, 1280, 1536, 2048, 2560,
+            3072, 3584, 4096, 4608, 5120,
+        )
+
+    def test_new_edges_route(self):
+        assert bucket_for(1100) == 1280
+        assert bucket_for(2100) == 2560
+        assert bucket_for(3100) == 3584
+        assert bucket_for(4100) == 4608
+        assert bucket_for(5120) == 5120
+
+    def test_above_largest_bucket_names_the_limit(self):
+        with pytest.raises(ValueError, match="5121 tokens exceeds the largest bucket 5120"):
+            bucket_for(5121)
+
 
 class TestInferenceServer:
     def test_first_request_pays_cold_costs(self):

@@ -33,7 +33,9 @@ from repro.msa.kernels import (
     emission_tensor,
     msv_filter_batch,
     pad_length,
+    pad_waste,
     run_cascade,
+    scan_waste_summary,
 )
 from repro.msa.nhmmer import NhmmerSearch
 from repro.msa.profile_hmm import ProfileHMM, encode_sequence
@@ -350,3 +352,64 @@ class TestKernelPlanField:
     def test_default_is_batched(self):
         assert ExecutionPlan().kernel == "batched"
         assert ExecutionPlan.serial().kernel == "batched"
+
+
+# ---------------------------------------------------------------------------
+# Per-bucket padded-token waste: measured, not assumed
+# ---------------------------------------------------------------------------
+
+
+class TestScanWaste:
+    def test_pad_waste_hand_checked(self):
+        # 3 -> width 4 (waste 1), 5 and 7 -> width 8 (waste 3 + 1).
+        assert pad_waste([3, 5, 7]) == ((4, 1, 3), (8, 2, 12))
+
+    def test_batch_token_properties(self):
+        encs = encode_random([3, 5, 7], seed=0)
+        by_width = {b.padded_len: b for b in batch_targets(encs)}
+        assert by_width[4].real_tokens == 3
+        assert by_width[4].padded_tokens == 4
+        assert by_width[8].real_tokens == 12
+        assert by_width[8].padded_tokens == 16
+
+    def test_cascade_measures_what_pad_waste_predicts(self):
+        """The batched cascade's measured accounting equals the pure
+        length-derived accounting the scalar path reports."""
+        _, db, profile, gumbel, targets = _shard_case(seed=2)
+        cfg = SearchConfig(iterations=1)
+        outcome = run_cascade(
+            profile, gumbel, [enc for _, _, enc in targets],
+            band=cfg.band, msv_evalue=cfg.msv_evalue,
+            viterbi_evalue=cfg.viterbi_evalue,
+            final_evalue=cfg.final_evalue,
+            db_size=db.spec.num_sequences,
+        )
+        assert outcome.pad_waste == pad_waste(
+            [len(enc) for _, _, enc in targets]
+        )
+
+    def test_scan_waste_summary_merges_shards(self):
+        summary = scan_waste_summary([(8, 2, 12), (8, 1, 5), (4, 1, 3)])
+        assert summary["targets"] == 4
+        assert summary["real_tokens"] == 20
+        assert summary["padded_tokens"] == 28
+        assert summary["waste_tokens"] == 8
+        assert list(summary["per_bucket"]) == ["4", "8"]
+        assert summary["per_bucket"]["8"]["targets"] == 3
+
+    def test_search_scan_waste_identical_across_kernels(self):
+        query, db, *_ = _shard_case(seed=1)
+        config = SearchConfig(iterations=2)
+        results = {}
+        for kernel in ("scalar", "batched"):
+            results[kernel] = JackhmmerSearch(
+                db, config, seed=1,
+                plan=ExecutionPlan(workers=1, backend="serial",
+                                   kernel=kernel),
+            ).search("q", query)
+        assert results["scalar"].scan_waste == results["batched"].scan_waste
+        summary = results["batched"].scan_waste
+        # Two iterations scan the full database twice.
+        assert summary["targets"] == 2 * len(db.records)
+        # Power-of-two padding bounds per-target overhead under 2x.
+        assert 0 < summary["waste_pct"] < 50.0

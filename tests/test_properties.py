@@ -176,7 +176,7 @@ class TestGumbelProperties:
 class TestBucketProperties:
     """Shape-bucket padding invariants (serving executable cache)."""
 
-    @given(st.integers(min_value=1, max_value=4096))
+    @given(st.integers(min_value=1, max_value=5120))
     def test_pad_up_invariant(self, n):
         from repro.core.server import DEFAULT_BUCKETS, bucket_for
 
@@ -189,23 +189,23 @@ class TestBucketProperties:
         assert all(b < n for b in smaller)
 
     @given(
-        st.integers(min_value=1, max_value=4096),
+        st.integers(min_value=1, max_value=5120),
         st.integers(min_value=0, max_value=512),
     )
     def test_monotone(self, n, delta):
         from repro.core.server import bucket_for
 
-        if n + delta <= 4096:
+        if n + delta <= 5120:
             assert bucket_for(n) <= bucket_for(n + delta)
 
-    @given(st.integers(min_value=4097, max_value=100_000))
+    @given(st.integers(min_value=5121, max_value=100_000))
     def test_past_largest_bucket_raises(self, n):
         from repro.core.server import bucket_for
 
         with pytest.raises(ValueError):
             bucket_for(n)
 
-    @given(st.integers(min_value=1, max_value=4096))
+    @given(st.integers(min_value=1, max_value=5120))
     def test_idempotent(self, n):
         from repro.core.server import bucket_for
 
